@@ -1,0 +1,30 @@
+//! Ablation studies (beyond the paper's artifacts).
+use std::sync::Once;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use piton_bench::{bench_fidelity, print_fidelity, print_once};
+use piton_core::experiments::ablations;
+
+static PRINT: Once = Once::new();
+
+fn bench(c: &mut Criterion) {
+    print_once(&PRINT, || {
+        format!(
+            "{}\n{}\n{}\n{}\n{}",
+            ablations::slice_mapping().render(),
+            ablations::render_store_buffer(&ablations::store_buffer_depth(print_fidelity())),
+            ablations::render_overhead(&ablations::dual_thread_overhead(print_fidelity())),
+            ablations::render_noc_split(&ablations::noc_energy_split(print_fidelity())),
+            ablations::execution_drafting(print_fidelity()).render(),
+        )
+    });
+    c.bench_function("ablation_store_buffer_depth", |b| {
+        b.iter(|| criterion::black_box(ablations::store_buffer_depth(bench_fidelity())))
+    });
+    c.bench_function("ablation_noc_energy_split", |b| {
+        b.iter(|| criterion::black_box(ablations::noc_energy_split(bench_fidelity())))
+    });
+}
+
+criterion_group!(name = benches; config = piton_bench::criterion(); targets = bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Figure 8 — area breakdown.
+use std::sync::Once;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use piton_bench::print_once;
+use piton_core::experiments::area;
+
+static PRINT: Once = Once::new();
+
+fn bench(c: &mut Criterion) {
+    print_once(&PRINT, || area::run().render());
+    c.bench_function("figure_8_area_breakdown", |b| {
+        b.iter(|| criterion::black_box(area::run()))
+    });
+}
+
+criterion_group!(name = benches; config = piton_bench::criterion(); targets = bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Figure 11 + Table VI — energy per instruction.
+use std::sync::Once;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use piton_arch::isa::Opcode;
+use piton_bench::{bench_fidelity, print_fidelity, print_once};
+use piton_core::experiments::epi;
+use piton_workloads::epi::EpiCase;
+
+static PRINT: Once = Once::new();
+
+fn bench(c: &mut Criterion) {
+    print_once(&PRINT, || epi::run(print_fidelity()).render());
+    let cases = [EpiCase::Plain(Opcode::Add), EpiCase::Load];
+    c.bench_function("figure_11_epi_add_and_ldx", |b| {
+        b.iter(|| criterion::black_box(epi::run_cases(&cases, bench_fidelity())))
+    });
+}
+
+criterion_group!(name = benches; config = piton_bench::criterion(); targets = bench);
+criterion_main!(benches);

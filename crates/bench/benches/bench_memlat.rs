@@ -1,0 +1,18 @@
+//! Figure 15 — memory latency breakdown.
+use std::sync::Once;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use piton_bench::print_once;
+use piton_core::experiments::mem_latency;
+
+static PRINT: Once = Once::new();
+
+fn bench(c: &mut Criterion) {
+    print_once(&PRINT, || mem_latency::run().render());
+    c.bench_function("figure_15_memory_latency_walk", |b| {
+        b.iter(|| criterion::black_box(mem_latency::run()))
+    });
+}
+
+criterion_group!(name = benches; config = piton_bench::criterion(); targets = bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Table VII — memory system energy.
+use std::sync::Once;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use piton_bench::{bench_fidelity, print_fidelity, print_once};
+use piton_core::experiments::memory_energy;
+
+static PRINT: Once = Once::new();
+
+fn bench(c: &mut Criterion) {
+    print_once(&PRINT, || memory_energy::run(print_fidelity()).render());
+    c.bench_function("table_vii_memory_energy_ladder", |b| {
+        b.iter(|| criterion::black_box(memory_energy::run(bench_fidelity())))
+    });
+}
+
+criterion_group!(name = benches; config = piton_bench::criterion(); targets = bench);
+criterion_main!(benches);

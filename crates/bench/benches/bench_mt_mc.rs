@@ -1,0 +1,20 @@
+//! Figure 14 — multithreading vs multicore.
+use std::sync::Once;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use piton_bench::{bench_fidelity, print_fidelity, print_once};
+use piton_core::experiments::mt_vs_mc;
+
+static PRINT: Once = Once::new();
+
+fn bench(c: &mut Criterion) {
+    print_once(&PRINT, || {
+        mt_vs_mc::run_with_threads(&[8, 16, 24], print_fidelity()).render()
+    });
+    c.bench_function("figure_14_mt_vs_mc", |b| {
+        b.iter(|| criterion::black_box(mt_vs_mc::run_with_threads(&[16], bench_fidelity())))
+    });
+}
+
+criterion_group!(name = benches; config = piton_bench::criterion(); targets = bench);
+criterion_main!(benches);

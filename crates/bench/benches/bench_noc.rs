@@ -1,0 +1,18 @@
+//! Figure 12 — NoC energy per flit.
+use std::sync::Once;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use piton_bench::{bench_fidelity, print_fidelity, print_once};
+use piton_core::experiments::noc_energy;
+
+static PRINT: Once = Once::new();
+
+fn bench(c: &mut Criterion) {
+    print_once(&PRINT, || noc_energy::run(print_fidelity()).render());
+    c.bench_function("figure_12_noc_epf_sweep", |b| {
+        b.iter(|| criterion::black_box(noc_energy::run(bench_fidelity())))
+    });
+}
+
+criterion_group!(name = benches; config = piton_bench::criterion(); targets = bench);
+criterion_main!(benches);

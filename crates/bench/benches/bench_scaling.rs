@@ -1,0 +1,25 @@
+//! Figure 13 — power scaling with core count.
+use std::sync::Once;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use piton_bench::{bench_fidelity, print_fidelity, print_once};
+use piton_core::experiments::core_scaling;
+
+static PRINT: Once = Once::new();
+
+fn bench(c: &mut Criterion) {
+    print_once(&PRINT, || {
+        core_scaling::run_with_cores(&[1, 5, 9, 13, 17, 21, 25], print_fidelity()).render()
+    });
+    c.bench_function("figure_13_core_scaling", |b| {
+        b.iter(|| {
+            criterion::black_box(core_scaling::run_with_cores(
+                &[1, 13, 25],
+                bench_fidelity(),
+            ))
+        })
+    });
+}
+
+criterion_group!(name = benches; config = piton_bench::criterion(); targets = bench);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Raw simulator throughput (not a paper artifact): cycles simulated
+//! per second for a fully-loaded 25-core chip, and the ablation of the
+//! fast-forward optimization (memory-stalled chips skip dead cycles).
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use piton_arch::config::ChipConfig;
+use piton_sim::machine::Machine;
+use piton_workloads::micro::{load_microbenchmark, Microbenchmark, RunLength, ThreadsPerCore};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator_throughput");
+    group.throughput(Throughput::Elements(100_000));
+
+    group.bench_function("hp_50_threads_100k_cycles", |b| {
+        b.iter_batched(
+            || {
+                let mut m = Machine::new(&ChipConfig::piton());
+                load_microbenchmark(
+                    &mut m,
+                    Microbenchmark::Hp,
+                    50,
+                    ThreadsPerCore::Two,
+                    RunLength::Forever,
+                );
+                m
+            },
+            |mut m| {
+                m.run(100_000);
+                m
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("idle_chip_100k_cycles_fast_forward", |b| {
+        b.iter_batched(
+            || Machine::new(&ChipConfig::piton()),
+            |mut m| {
+                m.run(100_000);
+                m
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("hist_50_threads_100k_cycles", |b| {
+        b.iter_batched(
+            || {
+                let mut m = Machine::new(&ChipConfig::piton());
+                load_microbenchmark(
+                    &mut m,
+                    Microbenchmark::Hist,
+                    50,
+                    ThreadsPerCore::Two,
+                    RunLength::Forever,
+                );
+                m
+            },
+            |mut m| {
+                m.run(100_000);
+                m
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(name = benches; config = piton_bench::criterion(); targets = bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Tables VIII & IX — the SPECint study.
+use std::sync::Once;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use piton_bench::{bench_fidelity, print_fidelity, print_once};
+use piton_core::experiments::specint;
+
+static PRINT: Once = Once::new();
+
+fn bench(c: &mut Criterion) {
+    print_once(&PRINT, || {
+        format!(
+            "{}\n{}",
+            specint::SpecResult::render_table_viii(),
+            specint::run(print_fidelity()).render()
+        )
+    });
+    c.bench_function("table_ix_specint_thirteen_pairs", |b| {
+        b.iter(|| criterion::black_box(specint::run(bench_fidelity())))
+    });
+}
+
+criterion_group!(name = benches; config = piton_bench::criterion(); targets = bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Figure 10 + Table V — static and idle power.
+use std::sync::Once;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use piton_bench::{bench_fidelity, print_fidelity, print_once};
+use piton_core::experiments::static_idle;
+
+static PRINT: Once = Once::new();
+
+fn bench(c: &mut Criterion) {
+    print_once(&PRINT, || static_idle::run(print_fidelity()).render());
+    c.bench_function("figure_10_static_idle_sweep", |b| {
+        b.iter(|| criterion::black_box(static_idle::run(bench_fidelity())))
+    });
+}
+
+criterion_group!(name = benches; config = piton_bench::criterion(); targets = bench);
+criterion_main!(benches);

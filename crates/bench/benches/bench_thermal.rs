@@ -1,0 +1,27 @@
+//! Figures 17 & 18 — thermal characterization.
+use std::sync::Once;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use piton_bench::{bench_fidelity, print_fidelity, print_once};
+use piton_core::experiments::thermal;
+
+static PRINT: Once = Once::new();
+
+fn bench(c: &mut Criterion) {
+    print_once(&PRINT, || {
+        format!(
+            "{}\n{}",
+            thermal::run_thermal_power(print_fidelity()).render(),
+            thermal::run_scheduling(48, 1.0, print_fidelity()).render()
+        )
+    });
+    c.bench_function("figure_17_thermal_power_sweep", |b| {
+        b.iter(|| criterion::black_box(thermal::run_thermal_power(bench_fidelity())))
+    });
+    c.bench_function("figure_18_scheduling_hysteresis", |b| {
+        b.iter(|| criterion::black_box(thermal::run_scheduling(16, 1.0, bench_fidelity())))
+    });
+}
+
+criterion_group!(name = benches; config = piton_bench::criterion(); targets = bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Figure 16 — gcc-166 rail-power time series.
+use std::sync::Once;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use piton_bench::{bench_fidelity, print_fidelity, print_once};
+use piton_core::experiments::specint;
+
+static PRINT: Once = Once::new();
+
+fn bench(c: &mut Criterion) {
+    print_once(&PRINT, || {
+        specint::run_timeseries(48, print_fidelity()).render()
+    });
+    c.bench_function("figure_16_gcc166_timeseries", |b| {
+        b.iter(|| criterion::black_box(specint::run_timeseries(16, bench_fidelity())))
+    });
+}
+
+criterion_group!(name = benches; config = piton_bench::criterion(); targets = bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Figure 9 — maximum frequency vs VDD for three chips.
+use std::sync::Once;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use piton_bench::print_once;
+use piton_core::experiments::vf_sweep;
+
+static PRINT: Once = Once::new();
+
+fn bench(c: &mut Criterion) {
+    print_once(&PRINT, || vf_sweep::run().render());
+    c.bench_function("figure_9_vf_sweep_three_chips", |b| {
+        b.iter(|| criterion::black_box(vf_sweep::run()))
+    });
+}
+
+criterion_group!(name = benches; config = piton_bench::criterion(); targets = bench);
+criterion_main!(benches);

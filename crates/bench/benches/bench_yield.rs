@@ -1,0 +1,18 @@
+//! Table IV — chip testing statistics.
+use std::sync::Once;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use piton_bench::print_once;
+use piton_core::experiments::yield_stats;
+
+static PRINT: Once = Once::new();
+
+fn bench(c: &mut Criterion) {
+    print_once(&PRINT, || yield_stats::run().render());
+    c.bench_function("table_iv_yield_campaign", |b| {
+        b.iter(|| criterion::black_box(yield_stats::run()))
+    });
+}
+
+criterion_group!(name = benches; config = piton_bench::criterion(); targets = bench);
+criterion_main!(benches);

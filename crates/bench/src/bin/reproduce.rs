@@ -1,0 +1,118 @@
+//! Regenerates every table and figure of the paper's evaluation and
+//! prints them in EXPERIMENTS.md form.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p piton-bench --bin reproduce              # full fidelity
+//! cargo run --release -p piton-bench --bin reproduce -- quick     # reduced fidelity
+//! cargo run --release -p piton-bench --bin reproduce -- csv=DIR   # also export CSV datasets
+//! ```
+
+use std::time::Instant;
+
+use piton_core::experiments::{
+    ablations, area, core_scaling, epi, mem_latency, memory_energy, mt_vs_mc, noc_energy,
+    specint, static_idle, thermal, vf_sweep, yield_stats, Fidelity,
+};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "quick");
+    let csv_dir: Option<std::path::PathBuf> = std::env::args()
+        .find_map(|a| a.strip_prefix("csv=").map(std::path::PathBuf::from));
+    if let Some(dir) = &csv_dir {
+        std::fs::create_dir_all(dir).expect("create csv directory");
+    }
+    let write_csv = |name: &str, data: String| {
+        if let Some(dir) = &csv_dir {
+            std::fs::write(dir.join(name), data).expect("write csv");
+        }
+    };
+    let fidelity = if quick {
+        Fidelity::quick()
+    } else {
+        Fidelity::full()
+    };
+    let t0 = Instant::now();
+    let section = |title: &str, body: String| {
+        println!("\n# {title}\n");
+        println!("{body}");
+        eprintln!("[{:7.1?}] {title} done", t0.elapsed());
+    };
+
+    section("Table IV — chip testing statistics", yield_stats::run().render());
+    section("Figure 8 — area breakdown", area::run().render());
+    section("Figure 9 — voltage versus frequency", vf_sweep::run().render());
+    section(
+        "Figure 10 + Table V — static and idle power",
+        static_idle::run(fidelity).render(),
+    );
+    let epi_result = epi::run(fidelity);
+    write_csv("figure11_epi.csv", epi_result.to_csv());
+    section(
+        "Figure 11 + Table VI — energy per instruction",
+        epi_result.render(),
+    );
+    let mem_result = memory_energy::run(fidelity);
+    write_csv("table7_memory_energy.csv", mem_result.to_csv());
+    section("Table VII — memory system energy", mem_result.render());
+    let noc_result = noc_energy::run(fidelity);
+    write_csv("figure12_noc_epf.csv", noc_result.to_csv());
+    section("Figure 12 — NoC energy per flit", noc_result.render());
+    let cores: Vec<usize> = if quick {
+        vec![1, 5, 9, 13, 17, 21, 25]
+    } else {
+        (1..=25).collect()
+    };
+    section(
+        "Figure 13 — power scaling with core count",
+        core_scaling::run_with_cores(&cores, fidelity).render(),
+    );
+    let threads: Vec<usize> = if quick {
+        vec![8, 16, 24]
+    } else {
+        (1..=12).map(|k| 2 * k).collect()
+    };
+    section(
+        "Figure 14 — multithreading versus multicore",
+        mt_vs_mc::run_with_threads(&threads, fidelity).render(),
+    );
+    section(
+        "Table VIII — system specifications",
+        specint::SpecResult::render_table_viii(),
+    );
+    let spec_result = specint::run(fidelity);
+    write_csv("table9_specint.csv", spec_result.to_csv());
+    section(
+        "Table IX — SPECint 2006 performance, power, and energy",
+        spec_result.render(),
+    );
+    section(
+        "Figure 15 — memory latency breakdown",
+        mem_latency::run().render(),
+    );
+    section(
+        "Figure 16 — gcc-166 power time series",
+        specint::run_timeseries(if quick { 48 } else { 256 }, fidelity).render(),
+    );
+    section(
+        "Figure 17 — power versus temperature",
+        thermal::run_thermal_power(fidelity).render(),
+    );
+    section(
+        "Figure 18 — scheduling and thermal hysteresis",
+        thermal::run_scheduling(if quick { 64 } else { 180 }, 1.0, fidelity).render(),
+    );
+    section(
+        "Ablations — design-choice sweeps (beyond the paper)",
+        format!(
+            "{}\n{}\n{}\n{}\n{}",
+            ablations::slice_mapping().render(),
+            ablations::render_store_buffer(&ablations::store_buffer_depth(fidelity)),
+            ablations::render_overhead(&ablations::dual_thread_overhead(fidelity)),
+            ablations::render_noc_split(&ablations::noc_energy_split(fidelity)),
+            ablations::execution_drafting(fidelity).render(),
+        ),
+    );
+    eprintln!("total: {:?}", t0.elapsed());
+}

@@ -1,0 +1,74 @@
+//! Shared plumbing for the benchmark harness.
+//!
+//! Each Criterion bench target regenerates one table or figure of the
+//! paper (see `benches/`), timing the full experiment pipeline at a
+//! reduced fidelity and printing the regenerated rows once per run.
+//! The `reproduce` binary (`cargo run --release -p piton-bench --bin
+//! reproduce`) runs everything at paper fidelity and emits the complete
+//! EXPERIMENTS.md body.
+
+use std::sync::Once;
+
+use criterion::Criterion;
+use piton_core::Fidelity;
+
+/// Fidelity used inside timing loops: small enough that Criterion can
+/// collect several samples.
+#[must_use]
+pub fn bench_fidelity() -> Fidelity {
+    Fidelity {
+        samples: 8,
+        chunk_cycles: 2_000,
+        warmup_cycles: 20_000,
+    }
+}
+
+/// Fidelity used for the one-shot table printout accompanying a bench.
+#[must_use]
+pub fn print_fidelity() -> Fidelity {
+    Fidelity::quick()
+}
+
+/// Prints a regenerated table once per process (so repeated Criterion
+/// iterations don't spam).
+pub fn print_once(once: &'static Once, render: impl FnOnce() -> String) {
+    once.call_once(|| {
+        println!("\n{}", render());
+    });
+}
+
+/// A Criterion instance tuned for experiment-scale benchmarks (seconds
+/// per iteration rather than nanoseconds).
+#[must_use]
+pub fn criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(8))
+        .warm_up_time(std::time::Duration::from_secs(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fidelities_are_ordered() {
+        let b = bench_fidelity();
+        let p = print_fidelity();
+        assert!(b.samples <= p.samples);
+        assert!(b.chunk_cycles <= p.chunk_cycles);
+    }
+
+    #[test]
+    fn print_once_prints_once() {
+        static ONCE: Once = Once::new();
+        let mut calls = 0;
+        for _ in 0..3 {
+            print_once(&ONCE, || {
+                calls += 1;
+                String::new()
+            });
+        }
+        assert_eq!(calls, 1);
+    }
+}

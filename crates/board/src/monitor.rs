@@ -1,0 +1,271 @@
+//! Sense resistors and I²C voltage/current monitors.
+//!
+//! The Piton board dedicates three PCB layers to split power planes with
+//! sense resistors bridging the planes that feed each chip rail; I²C
+//! voltage monitors track the socket-pin voltage and the drop across
+//! each sense resistor. The monitors poll at ≈ 17 Hz (a limitation of
+//! the devices and host), and every reported measurement in the paper is
+//! the mean of **128 samples (≈ 7.5 s)** at steady state with the sample
+//! standard deviation as the error bar (§III-A). This module reproduces
+//! that pipeline, including measurement noise and ADC quantization.
+//!
+//! # Examples
+//!
+//! ```
+//! use piton_board::monitor::{MonitorChannel, MeasurementWindow};
+//! use piton_arch::units::Watts;
+//!
+//! let mut chan = MonitorChannel::piton_board(42);
+//! let window: MeasurementWindow =
+//!     (0..128).map(|_| chan.sample(Watts(2.0153))).collect();
+//! assert!((window.mean().as_mw() - 2015.3).abs() < 3.0);
+//! assert!(window.stddev().as_mw() < 5.0);
+//! ```
+
+use piton_arch::units::{Ohms, Seconds, Watts};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Monitor poll rate in hertz (§III-A: "approximately 17Hz").
+pub const POLL_HZ: f64 = 17.0;
+
+/// Default samples per reported measurement (§III-A: 128 samples,
+/// "about a 7.5 second time window").
+pub const DEFAULT_SAMPLES: usize = 128;
+
+/// Wall time spanned by one default measurement window.
+#[must_use]
+pub fn window_duration(samples: usize) -> Seconds {
+    Seconds(samples as f64 / POLL_HZ)
+}
+
+/// One I²C-monitored rail channel: a sense resistor plus the monitor's
+/// noise and quantization.
+#[derive(Debug, Clone)]
+pub struct MonitorChannel {
+    sense: Ohms,
+    /// Additive Gaussian noise floor in watts.
+    noise_floor_w: f64,
+    /// Proportional noise (fraction of reading).
+    noise_fraction: f64,
+    /// ADC least-significant-bit size in watts.
+    lsb_w: f64,
+    rng: StdRng,
+}
+
+impl MonitorChannel {
+    /// The Piton board channel: 2 mΩ sense resistor, ±1.5 mW noise floor
+    /// (the Table V error), 0.05% proportional noise, 0.5 mW LSB.
+    #[must_use]
+    pub fn piton_board(seed: u64) -> Self {
+        Self {
+            sense: Ohms(0.002),
+            noise_floor_w: 1.5e-3,
+            noise_fraction: 5.0e-4,
+            lsb_w: 0.5e-3,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The sense resistor value.
+    #[must_use]
+    pub fn sense_resistance(&self) -> Ohms {
+        self.sense
+    }
+
+    /// Takes one monitor sample of a true rail power.
+    pub fn sample(&mut self, true_power: Watts) -> Watts {
+        let sigma = self.noise_floor_w + self.noise_fraction * true_power.0.abs();
+        // Box-Muller from two uniforms keeps the dependency surface tiny.
+        let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        let gauss = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        let noisy = true_power.0 + sigma * gauss;
+        // ADC quantization.
+        Watts((noisy / self.lsb_w).round() * self.lsb_w)
+    }
+}
+
+/// A collected window of power samples with the paper's statistics.
+#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeasurementWindow {
+    samples: Vec<Watts>,
+}
+
+impl MeasurementWindow {
+    /// An empty window.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, w: Watts) {
+        self.samples.push(w);
+    }
+
+    /// The raw samples.
+    #[must_use]
+    pub fn samples(&self) -> &[Watts] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the window is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean power over the window (what the paper reports).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty.
+    #[must_use]
+    pub fn mean(&self) -> Watts {
+        assert!(!self.is_empty(), "empty measurement window");
+        Watts(self.samples.iter().map(|w| w.0).sum::<f64>() / self.samples.len() as f64)
+    }
+
+    /// Sample standard deviation — the paper's error bars.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty.
+    #[must_use]
+    pub fn stddev(&self) -> Watts {
+        assert!(!self.is_empty(), "empty measurement window");
+        let n = self.samples.len() as f64;
+        if n < 2.0 {
+            return Watts(0.0);
+        }
+        let mean = self.mean().0;
+        let var = self
+            .samples
+            .iter()
+            .map(|w| (w.0 - mean) * (w.0 - mean))
+            .sum::<f64>()
+            / (n - 1.0);
+        Watts(var.sqrt())
+    }
+}
+
+impl FromIterator<Watts> for MeasurementWindow {
+    fn from_iter<T: IntoIterator<Item = Watts>>(iter: T) -> Self {
+        Self {
+            samples: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Watts> for MeasurementWindow {
+    fn extend<T: IntoIterator<Item = Watts>>(&mut self, iter: T) {
+        self.samples.extend(iter);
+    }
+}
+
+/// A mean ± standard-deviation result, the unit every experiment
+/// reports.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Measured {
+    /// Mean over the window.
+    pub mean: Watts,
+    /// Sample standard deviation.
+    pub stddev: Watts,
+}
+
+impl Measured {
+    /// Collapses a window into its statistics.
+    #[must_use]
+    pub fn from_window(w: &MeasurementWindow) -> Self {
+        Self {
+            mean: w.mean(),
+            stddev: w.stddev(),
+        }
+    }
+}
+
+impl std::fmt::Display for Measured {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.1}±{:.1} mW",
+            self.mean.as_mw(),
+            self.stddev.as_mw()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_duration_matches_paper() {
+        // 128 samples at ~17 Hz ≈ 7.5 s.
+        let d = window_duration(DEFAULT_SAMPLES);
+        assert!((d.0 - 7.5).abs() < 0.05, "{d}");
+    }
+
+    #[test]
+    fn sampling_is_unbiased_and_tight() {
+        let mut chan = MonitorChannel::piton_board(7);
+        let truth = Watts(2.0153);
+        let window: MeasurementWindow = (0..2_000).map(|_| chan.sample(truth)).collect();
+        assert!((window.mean().0 - truth.0).abs() < 0.001);
+        // Noise floor ~1.5 mW + 1 mW proportional: stddev in range.
+        let s = window.stddev().as_mw();
+        assert!((0.5..6.0).contains(&s), "stddev {s}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let mut a = MonitorChannel::piton_board(1);
+        let mut b = MonitorChannel::piton_board(1);
+        for _ in 0..10 {
+            assert_eq!(a.sample(Watts(1.0)), b.sample(Watts(1.0)));
+        }
+        let mut c = MonitorChannel::piton_board(2);
+        let same: Vec<_> = (0..10).map(|_| c.sample(Watts(1.0))).collect();
+        let mut d = MonitorChannel::piton_board(1);
+        let other: Vec<_> = (0..10).map(|_| d.sample(Watts(1.0))).collect();
+        assert_ne!(same, other);
+    }
+
+    #[test]
+    fn quantization_snaps_to_lsb() {
+        let mut chan = MonitorChannel::piton_board(3);
+        let s = chan.sample(Watts(1.0));
+        let lsbs = s.0 / 0.5e-3;
+        assert!((lsbs - lsbs.round()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stddev_of_constant_is_zero() {
+        let w: MeasurementWindow = (0..16).map(|_| Watts(1.0)).collect();
+        assert_eq!(w.stddev(), Watts(0.0));
+        assert_eq!(w.mean(), Watts(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty measurement window")]
+    fn empty_window_mean_panics() {
+        let _ = MeasurementWindow::new().mean();
+    }
+
+    #[test]
+    fn measured_formats_like_the_paper() {
+        let m = Measured {
+            mean: Watts::from_mw(389.3),
+            stddev: Watts::from_mw(1.5),
+        };
+        assert_eq!(m.to_string(), "389.3±1.5 mW");
+    }
+}

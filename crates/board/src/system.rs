@@ -1,0 +1,430 @@
+//! The assembled experimental system: chip + board + cooling +
+//! measurement loop.
+//!
+//! [`PitonSystem`] is the virtual counterpart of Figure 3: a simulated
+//! Piton die (with its process corner) in the socket of the test board,
+//! bench supplies with remote sense on all three rails, I²C monitors
+//! behind sense resistors, and the heat-sink/fan stack. Experiments load
+//! workloads onto the machine, let it reach steady state, and collect
+//! 128-sample measurement windows exactly as §III-A describes.
+//!
+//! **Time dilation.** The real monitors poll at 17 Hz — 29 million core
+//! cycles apart. Simulating every cycle between samples would be
+//! pointless for steady-state workloads, so each sample is backed by a
+//! *chunk* of simulated cycles (default 10 000) whose average power
+//! stands in for the 1/17 s interval; the thermal model still advances
+//! by the real 1/17 s per sample. This preserves the paper's
+//! methodology (steady-state mean ± stddev) at tractable cost.
+//!
+//! # Examples
+//!
+//! ```
+//! use piton_board::system::PitonSystem;
+//!
+//! let mut sys = PitonSystem::reference_chip_2();
+//! let idle = sys.measure_idle_power();
+//! assert!((idle.mean.as_mw() - 2015.3).abs() < 30.0); // Table V
+//! ```
+
+use piton_arch::config::ChipConfig;
+use piton_arch::units::{Hertz, Joules, Seconds, Volts, Watts};
+use piton_power::model::{OperatingPoint, PowerModel, RailPower};
+use piton_power::thermal::{Cooling, ThermalModel};
+use piton_power::{Calibration, ChipCorner, TechModel};
+use piton_sim::machine::Machine;
+use serde::{Deserialize, Serialize};
+
+use crate::monitor::{window_duration, Measured, MeasurementWindow, MonitorChannel};
+use crate::population::NamedChip;
+use crate::supply::PowerRails;
+
+/// Default simulated cycles backing one monitor sample.
+pub const DEFAULT_CHUNK_CYCLES: u64 = 10_000;
+
+/// A three-rail measurement result.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RailMeasurement {
+    /// Core rail.
+    pub vdd: Measured,
+    /// SRAM rail.
+    pub vcs: Measured,
+    /// I/O rail.
+    pub vio: Measured,
+    /// VDD + VCS — the chip power the paper reports.
+    pub total: Measured,
+}
+
+/// Result of running a finite workload to completion under measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadRun {
+    /// Execution time (cycles / core clock).
+    pub elapsed: Seconds,
+    /// Chip energy (VDD + VCS) integrated over the run.
+    pub energy: Joules,
+    /// Mean chip power over the run.
+    pub mean_power: Watts,
+    /// Cycles executed.
+    pub cycles: u64,
+    /// Whether all threads halted before the cycle limit.
+    pub completed: bool,
+}
+
+/// The full experimental setup of Figure 3.
+#[derive(Debug, Clone)]
+pub struct PitonSystem {
+    machine: Machine,
+    model: PowerModel,
+    rails: PowerRails,
+    thermal: ThermalModel,
+    freq: Hertz,
+    chunk_cycles: u64,
+    mon_vdd: MonitorChannel,
+    mon_vcs: MonitorChannel,
+    mon_vio: MonitorChannel,
+}
+
+impl PitonSystem {
+    /// Builds a system around a die with the given corner, with the
+    /// default board, cooling and ambient. `seed` drives measurement
+    /// noise.
+    #[must_use]
+    pub fn new(cfg: &ChipConfig, corner: ChipCorner, seed: u64) -> Self {
+        Self {
+            machine: Machine::new(cfg),
+            model: PowerModel::new(Calibration::piton_hpca18(), TechModel::ibm32soi(), corner),
+            rails: PowerRails::table_iii(),
+            thermal: ThermalModel::new(Cooling::HeatsinkFan, 20.0),
+            freq: Hertz::from_mhz(500.05),
+            chunk_cycles: DEFAULT_CHUNK_CYCLES,
+            mon_vdd: MonitorChannel::piton_board(seed),
+            mon_vcs: MonitorChannel::piton_board(seed.wrapping_add(1)),
+            mon_vio: MonitorChannel::piton_board(seed.wrapping_add(2)),
+        }
+    }
+
+    /// Chip #1: fast but leaky.
+    #[must_use]
+    pub fn reference_chip_1() -> Self {
+        Self::new(&ChipConfig::piton(), NamedChip::Chip1.corner(), 1)
+    }
+
+    /// Chip #2: the typical die used for most of the paper's studies.
+    #[must_use]
+    pub fn reference_chip_2() -> Self {
+        Self::new(&ChipConfig::piton(), NamedChip::Chip2.corner(), 2)
+    }
+
+    /// Chip #3: the microbenchmark die.
+    #[must_use]
+    pub fn reference_chip_3() -> Self {
+        Self::new(&ChipConfig::piton(), NamedChip::Chip3.corner(), 3)
+    }
+
+    /// The simulated machine (load workloads here).
+    #[must_use]
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Mutable machine access.
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// Replaces the machine with a fresh idle one (power-cycle).
+    pub fn reset_machine(&mut self) {
+        self.machine = Machine::new(&self.machine.config().clone());
+    }
+
+    /// The power model of the socketed die.
+    #[must_use]
+    pub fn power_model(&self) -> &PowerModel {
+        &self.model
+    }
+
+    /// The thermal state.
+    #[must_use]
+    pub fn thermal(&self) -> &ThermalModel {
+        &self.thermal
+    }
+
+    /// Mutable thermal access (e.g. removing the heat sink for §IV-J).
+    pub fn thermal_mut(&mut self) -> &mut ThermalModel {
+        &mut self.thermal
+    }
+
+    /// The supply rails.
+    #[must_use]
+    pub fn rails(&self) -> &PowerRails {
+        &self.rails
+    }
+
+    /// Programs VDD (VCS tracks at +0.05 V).
+    pub fn set_vdd_tracked(&mut self, vdd: Volts) {
+        self.rails.set_vdd_tracked(vdd);
+    }
+
+    /// Sets the core clock.
+    pub fn set_frequency(&mut self, f: Hertz) {
+        self.freq = f;
+    }
+
+    /// Current core clock.
+    #[must_use]
+    pub fn frequency(&self) -> Hertz {
+        self.freq
+    }
+
+    /// Sets the cycles simulated per monitor sample.
+    pub fn set_chunk_cycles(&mut self, cycles: u64) {
+        assert!(cycles > 0, "chunk must be non-empty");
+        self.chunk_cycles = cycles;
+    }
+
+    /// The operating point implied by the current rails, clock and
+    /// junction temperature.
+    #[must_use]
+    pub fn operating_point(&self) -> OperatingPoint {
+        OperatingPoint {
+            vdd: self.rails.vdd.setpoint(),
+            vcs: self.rails.vcs.setpoint(),
+            vio: self.rails.vio.setpoint(),
+            freq: self.freq,
+            junction_c: self.thermal.junction_c(),
+        }
+    }
+
+    /// True (noise-free) rail power of one freshly simulated chunk.
+    fn chunk_power(&mut self) -> RailPower {
+        let before = self.machine.counters().clone();
+        self.machine.run(self.chunk_cycles);
+        let delta = self.machine.counters().delta_since(&before);
+        self.model.power(&delta, self.operating_point())
+    }
+
+    /// Runs the machine for `cycles` without measuring (reaching the
+    /// steady state the paper requires before sampling), settling the
+    /// thermal state to the resulting power.
+    pub fn warm_up(&mut self, cycles: u64) {
+        let before = self.machine.counters().clone();
+        self.machine.run(cycles);
+        let delta = self.machine.counters().delta_since(&before);
+        // Settle at the leakage-aware fixed point: power depends on
+        // junction temperature, which depends on power.
+        let op0 = self.operating_point();
+        let (t_eq, _) = self.thermal.equilibrium(
+            |t| self.model.power(&delta, op0.with_junction(t)).total_with_io() * 0.9,
+            120.0,
+        );
+        self.thermal.settle_to_junction(t_eq);
+    }
+
+    /// Collects a measurement window of `samples` monitor polls while
+    /// the loaded workload runs.
+    pub fn measure(&mut self, samples: usize) -> RailMeasurement {
+        let dt = Seconds(window_duration(samples).0 / samples as f64);
+        let mut w_vdd = MeasurementWindow::new();
+        let mut w_vcs = MeasurementWindow::new();
+        let mut w_vio = MeasurementWindow::new();
+        let mut w_tot = MeasurementWindow::new();
+        for _ in 0..samples {
+            let p = self.chunk_power();
+            self.thermal.step(p.total_with_io() * 0.9, dt);
+            let svdd = self.mon_vdd.sample(p.vdd);
+            let svcs = self.mon_vcs.sample(p.vcs);
+            let svio = self.mon_vio.sample(p.vio);
+            w_vdd.push(svdd);
+            w_vcs.push(svcs);
+            w_vio.push(svio);
+            w_tot.push(svdd + svcs);
+        }
+        RailMeasurement {
+            vdd: Measured::from_window(&w_vdd),
+            vcs: Measured::from_window(&w_vcs),
+            vio: Measured::from_window(&w_vio),
+            total: Measured::from_window(&w_tot),
+        }
+    }
+
+    /// Measures the default 128-sample window.
+    pub fn measure_default(&mut self) -> RailMeasurement {
+        self.measure(crate::monitor::DEFAULT_SAMPLES)
+    }
+
+    /// Idle power (clocks running, all threads idle) — the Table V
+    /// measurement. Resets the machine first.
+    pub fn measure_idle_power(&mut self) -> Measured {
+        self.reset_machine();
+        self.warm_up(10_000);
+        self.measure(64).total
+    }
+
+    /// Static power (all inputs including clocks grounded) — no dynamic
+    /// activity at all, leakage at the thermal equilibrium.
+    pub fn measure_static_power(&mut self) -> Measured {
+        let op_cold = self.operating_point();
+        let (t_eq, _) = self.thermal.equilibrium(
+            |t| {
+                self.model
+                    .static_power(op_cold.with_junction(t))
+                    .total_with_io()
+            },
+            120.0,
+        );
+        let p = self.model.static_power(op_cold.with_junction(t_eq)).total();
+        let mut w = MeasurementWindow::new();
+        for _ in 0..64 {
+            w.push(self.mon_vdd.sample(p));
+        }
+        Measured::from_window(&w)
+    }
+
+    /// Runs the loaded workload to completion (or `max_cycles`),
+    /// integrating power into energy — the §IV-H2 energy methodology
+    /// (energy derived from power and execution time).
+    pub fn run_measured(&mut self, max_cycles: u64) -> WorkloadRun {
+        let start_cycle = self.machine.now();
+        let mut energy = Joules(0.0);
+        let mut power_time = Joules(0.0);
+        while self.machine.any_running() && self.machine.now() - start_cycle < max_cycles {
+            let before = self.machine.counters().clone();
+            let chunk = self.chunk_cycles.min(max_cycles - (self.machine.now() - start_cycle));
+            self.machine.run(chunk);
+            let delta = self.machine.counters().delta_since(&before);
+            if delta.cycles == 0 {
+                break;
+            }
+            let p = self.model.power(&delta, self.operating_point());
+            let t = self.freq.period() * delta.cycles as f64;
+            energy += p.total() * t;
+            power_time += p.total() * t;
+            self.thermal.step(p.total_with_io() * 0.9, t);
+        }
+        let cycles = self.machine.now() - start_cycle;
+        let elapsed = self.freq.period() * cycles as f64;
+        WorkloadRun {
+            elapsed,
+            energy,
+            mean_power: if elapsed.0 > 0.0 {
+                power_time / elapsed
+            } else {
+                Watts(0.0)
+            },
+            cycles,
+            completed: !self.machine.any_running(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use piton_arch::isa::{Instruction, Opcode, Reg};
+    use piton_arch::topology::TileId;
+    use piton_sim::program::Program;
+
+    #[test]
+    fn idle_power_reproduces_table_v() {
+        let mut sys = PitonSystem::reference_chip_2();
+        sys.set_chunk_cycles(2_000);
+        let idle = sys.measure_idle_power();
+        assert!(
+            (idle.mean.as_mw() - 2015.3).abs() < 30.0,
+            "idle {}",
+            idle.mean.as_mw()
+        );
+        assert!(idle.stddev.as_mw() < 10.0);
+    }
+
+    #[test]
+    fn static_power_reproduces_table_v() {
+        let mut sys = PitonSystem::reference_chip_2();
+        let s = sys.measure_static_power();
+        assert!(
+            (s.mean.as_mw() - 389.3).abs() < 25.0,
+            "static {}",
+            s.mean.as_mw()
+        );
+    }
+
+    #[test]
+    fn chip_3_is_cooler_than_chip_2() {
+        let mut s2 = PitonSystem::reference_chip_2();
+        let mut s3 = PitonSystem::reference_chip_3();
+        s2.set_chunk_cycles(2_000);
+        s3.set_chunk_cycles(2_000);
+        let i2 = s2.measure_idle_power();
+        let i3 = s3.measure_idle_power();
+        assert!(i3.mean < i2.mean);
+        // Chip #3 idle ≈ 1906 mW.
+        assert!((i3.mean.as_mw() - 1906.2).abs() < 40.0, "{}", i3.mean.as_mw());
+    }
+
+    #[test]
+    fn busy_cores_raise_power_over_idle() {
+        let mut sys = PitonSystem::reference_chip_2();
+        sys.set_chunk_cycles(2_000);
+        let idle = sys.measure_idle_power();
+
+        sys.reset_machine();
+        let p = Program::from_instructions(vec![
+            Instruction::movi(Reg::new(1), 0x0F0F),
+            Instruction::movi(Reg::new(2), 0x3333),
+            Instruction::alu(Opcode::Add, Reg::new(3), Reg::new(1), Reg::new(2)),
+            Instruction::alu(Opcode::And, Reg::new(4), Reg::new(1), Reg::new(2)),
+            Instruction::branch(Opcode::Beq, Reg::G0, Reg::G0, 2),
+        ]);
+        sys.machine_mut().load_on_tiles(25, 0, &p);
+        sys.warm_up(5_000);
+        let busy = sys.measure(32);
+        assert!(
+            busy.total.mean > idle.mean + piton_arch::units::Watts(0.2),
+            "busy {} vs idle {}",
+            busy.total.mean,
+            idle.mean
+        );
+    }
+
+    #[test]
+    fn run_measured_integrates_energy() {
+        let mut sys = PitonSystem::reference_chip_2();
+        sys.set_chunk_cycles(1_000);
+        let p = Program::from_instructions(vec![
+            Instruction::movi(Reg::new(1), 50),
+            Instruction::movi(Reg::new(2), 1),
+            Instruction::alu(Opcode::Sub, Reg::new(1), Reg::new(1), Reg::new(2)),
+            Instruction::branch(Opcode::Bne, Reg::new(1), Reg::G0, 2),
+            Instruction::halt(),
+        ]);
+        sys.machine_mut().load_thread(TileId::new(0), 0, p);
+        let run = sys.run_measured(100_000);
+        assert!(run.completed);
+        assert!(run.energy.0 > 0.0);
+        assert!(run.elapsed.0 > 0.0);
+        // Energy ≈ mean power × time.
+        let recomputed = run.mean_power * run.elapsed;
+        assert!((recomputed.0 - run.energy.0).abs() / run.energy.0 < 1e-6);
+    }
+
+    #[test]
+    fn voltage_sweep_changes_power() {
+        let mut sys = PitonSystem::reference_chip_2();
+        sys.set_chunk_cycles(1_000);
+        let at_nominal = sys.measure_idle_power();
+        sys.set_vdd_tracked(Volts(0.8));
+        sys.set_frequency(Hertz::from_mhz(285.74));
+        let at_low = sys.measure_idle_power();
+        assert!(at_low.mean < at_nominal.mean * 0.7);
+    }
+
+    #[test]
+    fn operating_point_tracks_rails_and_thermal() {
+        let mut sys = PitonSystem::reference_chip_2();
+        sys.set_vdd_tracked(Volts(1.1));
+        sys.set_frequency(Hertz::from_mhz(600.06));
+        let op = sys.operating_point();
+        assert_eq!(op.vdd, Volts(1.1));
+        assert!((op.vcs.0 - 1.15).abs() < 1e-12);
+        assert!((op.freq.as_mhz() - 600.06).abs() < 1e-9);
+    }
+}

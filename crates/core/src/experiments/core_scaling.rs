@@ -1,0 +1,242 @@
+//! Figure 13 — power scaling with core count.
+//!
+//! Each microbenchmark (Int, HP, Hist) runs on 1 to 25 cores in both
+//! the 1 T/C and 2 T/C configurations on Chip #3 (the paper's
+//! microbenchmark die); full-chip power is measured per point and a
+//! linear fit gives the mW/core trendline.
+
+use piton_arch::units::Watts;
+use piton_board::system::PitonSystem;
+use piton_workloads::micro::{load_microbenchmark, Microbenchmark, RunLength, ThreadsPerCore};
+use serde::{Deserialize, Serialize};
+
+use super::Fidelity;
+use crate::measure::linear_fit;
+use crate::report::Table;
+
+/// One (benchmark, T/C) power-versus-cores series.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScalingSeries {
+    /// Which microbenchmark.
+    pub bench: Microbenchmark,
+    /// Thread configuration.
+    pub tpc: ThreadsPerCore,
+    /// `(cores, full-chip watts)`.
+    pub points: Vec<(usize, f64)>,
+    /// Fitted slope in mW/core.
+    pub mw_per_core: f64,
+}
+
+/// The Figure 13 dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CoreScalingResult {
+    /// Six series (3 benchmarks × 2 T/C configs).
+    pub series: Vec<ScalingSeries>,
+    /// Chip #3 idle power (the paper reports 1906.2 mW).
+    pub idle: Watts,
+}
+
+/// Paper trendlines in mW/core: `(bench, tpc, slope)`.
+#[must_use]
+pub fn paper_reference() -> Vec<(Microbenchmark, ThreadsPerCore, f64)> {
+    vec![
+        (Microbenchmark::Int, ThreadsPerCore::One, 22.8),
+        (Microbenchmark::Int, ThreadsPerCore::Two, 37.4),
+        (Microbenchmark::Hp, ThreadsPerCore::One, 35.6),
+        (Microbenchmark::Hp, ThreadsPerCore::Two, 57.8),
+        (Microbenchmark::Hist, ThreadsPerCore::One, 14.5),
+        (Microbenchmark::Hist, ThreadsPerCore::Two, 14.4),
+    ]
+}
+
+fn measure_point(
+    bench: Microbenchmark,
+    cores: usize,
+    tpc: ThreadsPerCore,
+    fidelity: Fidelity,
+) -> f64 {
+    let mut sys = PitonSystem::reference_chip_3();
+    sys.set_chunk_cycles(fidelity.chunk_cycles);
+    let threads = cores * tpc.count();
+    load_microbenchmark(
+        sys.machine_mut(),
+        bench,
+        threads,
+        tpc,
+        RunLength::Forever,
+    );
+    sys.warm_up(fidelity.warmup_cycles);
+    sys.measure(fidelity.samples).total.mean.0
+}
+
+/// Runs the Figure 13 sweep over the given core counts (the harness
+/// sweeps 1..=25; tests use fewer points).
+#[must_use]
+pub fn run_with_cores(core_counts: &[usize], fidelity: Fidelity) -> CoreScalingResult {
+    let mut idle_sys = PitonSystem::reference_chip_3();
+    idle_sys.set_chunk_cycles(fidelity.chunk_cycles);
+    let idle = idle_sys.measure_idle_power().mean;
+
+    let mut series = Vec::new();
+    for bench in Microbenchmark::ALL {
+        for tpc in [ThreadsPerCore::One, ThreadsPerCore::Two] {
+            let points: Vec<(usize, f64)> = core_counts
+                .iter()
+                .map(|&c| (c, measure_point(bench, c, tpc, fidelity)))
+                .collect();
+            let fit: Vec<(f64, f64)> =
+                points.iter().map(|&(c, w)| (c as f64, w)).collect();
+            let (_, slope_w) = linear_fit(&fit);
+            series.push(ScalingSeries {
+                bench,
+                tpc,
+                points,
+                mw_per_core: slope_w * 1e3,
+            });
+        }
+    }
+    CoreScalingResult { series, idle }
+}
+
+/// Runs the full 1..=25-core sweep.
+#[must_use]
+pub fn run(fidelity: Fidelity) -> CoreScalingResult {
+    let cores: Vec<usize> = (1..=25).collect();
+    run_with_cores(&cores, fidelity)
+}
+
+impl CoreScalingResult {
+    /// A series by benchmark and configuration.
+    #[must_use]
+    pub fn series_for(&self, bench: Microbenchmark, tpc: ThreadsPerCore) -> &ScalingSeries {
+        self.series
+            .iter()
+            .find(|s| s.bench == bench && s.tpc == tpc)
+            .expect("all six series present")
+    }
+
+    /// Renders Figure 13's trendlines.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut t = Table::new(&format!(
+            "Figure 13: power scaling with core count (Chip #3, idle {:.1} mW)",
+            self.idle.as_mw()
+        ));
+        t.header(["Benchmark", "T/C", "mW/core", "Paper", "vs paper"]);
+        for s in &self.series {
+            let paper = paper_reference()
+                .into_iter()
+                .find(|(b, c, _)| *b == s.bench && *c == s.tpc)
+                .map_or(0.0, |(_, _, v)| v);
+            t.row([
+                s.bench.label().to_owned(),
+                s.tpc.label().to_owned(),
+                format!("{:.1}", s.mw_per_core),
+                format!("{paper}"),
+                crate::report::vs_paper(s.mw_per_core, paper),
+            ]);
+        }
+        let mut out = t.render();
+        out.push_str("\nPer-point power (W):\n");
+        for s in &self.series {
+            let pts: Vec<String> = s
+                .points
+                .iter()
+                .map(|(c, w)| format!("{c}:{w:.3}"))
+                .collect();
+            out.push_str(&format!(
+                "  {} {}: {}\n",
+                s.bench.label(),
+                s.tpc.label(),
+                pts.join(" ")
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result() -> CoreScalingResult {
+        run_with_cores(&[1, 5, 9, 13, 17, 21, 25], Fidelity::quick())
+    }
+
+    #[test]
+    fn power_scales_linearly_and_two_tpc_scales_faster() {
+        let r = result();
+        for bench in [Microbenchmark::Int, Microbenchmark::Hp] {
+            let one = r.series_for(bench, ThreadsPerCore::One);
+            let two = r.series_for(bench, ThreadsPerCore::Two);
+            assert!(one.mw_per_core > 0.0);
+            assert!(
+                two.mw_per_core > 1.18 * one.mw_per_core,
+                "{}: 2T/C {} vs 1T/C {}",
+                bench.label(),
+                two.mw_per_core,
+                one.mw_per_core
+            );
+            // Monotone non-decreasing power with cores.
+            for w in one.points.windows(2) {
+                assert!(w[1].1 >= w[0].1 - 0.02, "{}: {:?}", bench.label(), w);
+            }
+        }
+    }
+
+    #[test]
+    fn hp_consumes_the_most_hist_the_least() {
+        let r = result();
+        for tpc in [ThreadsPerCore::One, ThreadsPerCore::Two] {
+            let int = r.series_for(Microbenchmark::Int, tpc).mw_per_core;
+            let hp = r.series_for(Microbenchmark::Hp, tpc).mw_per_core;
+            let hist = r.series_for(Microbenchmark::Hist, tpc).mw_per_core;
+            assert!(hp > int * 0.9, "{}: HP {hp} vs Int {int}", tpc.label());
+            assert!(
+                hist < int,
+                "{}: Hist {hist} must be below Int {int}",
+                tpc.label()
+            );
+        }
+    }
+
+    #[test]
+    fn hp_at_full_chip_is_the_highest_observed_power() {
+        // ~3.5 W on all 50 threads in the paper.
+        let r = result();
+        let hp_full = r
+            .series_for(Microbenchmark::Hp, ThreadsPerCore::Two)
+            .points
+            .last()
+            .unwrap()
+            .1;
+        assert!(
+            (2.5..=4.5).contains(&hp_full),
+            "HP @ 25 cores 2T/C = {hp_full} W"
+        );
+        for s in &r.series {
+            let max = s.points.iter().map(|p| p.1).fold(0.0, f64::max);
+            assert!(max <= hp_full + 0.05, "{} exceeds HP", s.bench.label());
+        }
+    }
+
+    #[test]
+    fn hist_tpc_configs_scale_similarly() {
+        // Paper: 14.5 vs 14.4 mW/core — nearly identical.
+        let r = result();
+        let one = r.series_for(Microbenchmark::Hist, ThreadsPerCore::One).mw_per_core;
+        let two = r.series_for(Microbenchmark::Hist, ThreadsPerCore::Two).mw_per_core;
+        assert!(
+            two < 2.2 * one.max(1.0) && one < 2.2 * two.max(1.0),
+            "Hist slopes diverge: {one} vs {two}"
+        );
+    }
+
+    #[test]
+    fn render_includes_all_six_series() {
+        let s = result().render();
+        assert_eq!(s.matches("Int").count() >= 2, true);
+        assert!(s.contains("Hist"));
+        assert!(s.contains("mW/core"));
+    }
+}

@@ -1,0 +1,279 @@
+//! Figure 11 + Table VI — energy per instruction.
+//!
+//! For each instruction class the §IV-E assembly test runs on all 25
+//! cores until steady state; EPI is computed with the paper's formula
+//! from the measured power, the measured idle power and the Table VI
+//! latency. Instructions with input operands are swept over
+//! minimum/random/maximum operand values. The `stx (NF)` case subtracts
+//! the energy of its nine drain-`nop`s, exactly as §IV-E describes.
+
+use piton_arch::isa::{Opcode, OperandPattern};
+use piton_board::system::PitonSystem;
+use piton_workloads::epi::{epi_test, EpiCase, StoreVariant, STX_DRAIN_NOPS};
+use serde::{Deserialize, Serialize};
+
+use super::Fidelity;
+use crate::measure::{epi_with_error, WithError};
+use crate::report::Table;
+
+/// EPI of one case under each operand pattern (pJ).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EpiRow {
+    /// Figure 11 x-axis label.
+    pub label: String,
+    /// Table VI latency used in the formula.
+    pub latency: u64,
+    /// `(pattern, EPI ± error in pJ)`; a single `Random` entry for
+    /// operand-free instructions.
+    pub epi_pj: Vec<(OperandPattern, WithError)>,
+}
+
+impl EpiRow {
+    /// EPI under one pattern, if measured.
+    #[must_use]
+    pub fn at(&self, pattern: OperandPattern) -> Option<WithError> {
+        self.epi_pj
+            .iter()
+            .find(|(p, _)| *p == pattern)
+            .map(|(_, e)| *e)
+    }
+}
+
+/// The Figure 11 dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EpiResult {
+    /// One row per Figure 11 case.
+    pub rows: Vec<EpiRow>,
+    /// Measured idle power used in the subtraction (mW).
+    pub idle_mw: f64,
+}
+
+/// Paper anchors (random operands) readable from Figure 11 / §IV-E
+/// prose: the `ldx` L1-hit EPI (Table VII) and the three-adds-per-load
+/// relation.
+#[must_use]
+pub fn paper_ldx_epi_pj() -> f64 {
+    286.46
+}
+
+fn measure_case(
+    case: EpiCase,
+    pattern: OperandPattern,
+    idle: (f64, f64),
+    fidelity: Fidelity,
+    nop_epi: Option<f64>,
+) -> WithError {
+    let mut sys = PitonSystem::reference_chip_2();
+    sys.set_chunk_cycles(fidelity.chunk_cycles);
+    for t in 0..25 {
+        let p = epi_test(case, pattern, t);
+        sys.machine_mut().load_thread(piton_arch::TileId::new(t), 0, p);
+    }
+    sys.warm_up(fidelity.warmup_cycles);
+    let m = sys.measure(fidelity.samples);
+    let f = sys.frequency();
+    let latency = case.opcode().base_latency();
+    let mut epi = epi_with_error(
+        m.total.mean,
+        m.total.stddev,
+        piton_arch::units::Watts(idle.0),
+        piton_arch::units::Watts(idle.1),
+        f,
+        latency,
+    );
+    if case == EpiCase::Store(StoreVariant::NotFull) {
+        // The measured 10-cycle group contains the store plus nine
+        // nops; subtract their energy (§IV-E).
+        let nop = nop_epi.expect("nop EPI measured before stx (NF)");
+        epi.value -= STX_DRAIN_NOPS as f64 * nop;
+    }
+    epi
+}
+
+/// Runs a chosen subset of cases (tests use a few; the harness runs all).
+#[must_use]
+pub fn run_cases(cases: &[EpiCase], fidelity: Fidelity) -> EpiResult {
+    // Idle baseline.
+    let mut sys = PitonSystem::reference_chip_2();
+    sys.set_chunk_cycles(fidelity.chunk_cycles);
+    sys.warm_up(fidelity.warmup_cycles);
+    let idle_m = sys.measure(fidelity.samples);
+    let idle = (idle_m.total.mean.0, idle_m.total.stddev.0);
+
+    // nop EPI first (needed by the stx (NF) subtraction).
+    let nop_epi = measure_case(
+        EpiCase::Plain(Opcode::Nop),
+        OperandPattern::Random,
+        idle,
+        fidelity,
+        None,
+    );
+
+    let mut rows = Vec::new();
+    for &case in cases {
+        let patterns: Vec<OperandPattern> = if case.has_value_operands() {
+            OperandPattern::ALL.to_vec()
+        } else {
+            vec![OperandPattern::Random]
+        };
+        let mut epi_pj = Vec::new();
+        for pattern in patterns {
+            let e = if case == EpiCase::Plain(Opcode::Nop) {
+                nop_epi
+            } else {
+                measure_case(case, pattern, idle, fidelity, Some(nop_epi.value))
+            };
+            epi_pj.push((pattern, e));
+        }
+        rows.push(EpiRow {
+            label: case.label(),
+            latency: case.opcode().base_latency(),
+            epi_pj,
+        });
+    }
+    EpiResult {
+        rows,
+        idle_mw: idle.0 * 1e3,
+    }
+}
+
+/// Runs the full Figure 11 sweep.
+#[must_use]
+pub fn run(fidelity: Fidelity) -> EpiResult {
+    run_cases(&EpiCase::figure_11(), fidelity)
+}
+
+impl EpiResult {
+    /// A row by its Figure 11 label.
+    #[must_use]
+    pub fn row(&self, label: &str) -> Option<&EpiRow> {
+        self.rows.iter().find(|r| r.label == label)
+    }
+
+    /// Exports the Figure 11 dataset as CSV (one row per instruction,
+    /// one column per operand pattern, pJ).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut t = Table::new("");
+        t.header(["instruction", "latency_cycles", "epi_min_pj", "epi_random_pj", "epi_max_pj"]);
+        for r in &self.rows {
+            let fmt = |p: OperandPattern| {
+                r.at(p).map_or_else(String::new, |e| format!("{:.2}", e.value))
+            };
+            t.row([
+                r.label.clone(),
+                r.latency.to_string(),
+                fmt(OperandPattern::Minimum),
+                fmt(OperandPattern::Random),
+                fmt(OperandPattern::Maximum),
+            ]);
+        }
+        t.to_csv()
+    }
+
+    /// Renders Figure 11 (plus the Table VI latencies).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut t = Table::new(&format!(
+            "Figure 11: EPI by instruction and operand value (idle {:.1} mW)",
+            self.idle_mw
+        ));
+        t.header([
+            "Instruction",
+            "Latency (cyc)",
+            "EPI min (pJ)",
+            "EPI random (pJ)",
+            "EPI max (pJ)",
+        ]);
+        for r in &self.rows {
+            let fmt = |p: OperandPattern| {
+                r.at(p)
+                    .map_or_else(|| "-".to_owned(), |e| format!("{e:.0}"))
+            };
+            t.row([
+                r.label.clone(),
+                r.latency.to_string(),
+                fmt(OperandPattern::Minimum),
+                fmt(OperandPattern::Random),
+                fmt(OperandPattern::Maximum),
+            ]);
+        }
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cases() -> EpiResult {
+        run_cases(
+            &[
+                EpiCase::Plain(Opcode::Nop),
+                EpiCase::Plain(Opcode::Add),
+                EpiCase::Plain(Opcode::Sdivx),
+                EpiCase::Load,
+            ],
+            Fidelity::quick(),
+        )
+    }
+
+    #[test]
+    fn ldx_epi_matches_the_table_vii_anchor() {
+        let r = quick_cases();
+        let ldx = r.row("ldx").unwrap().at(OperandPattern::Random).unwrap();
+        let dev = (ldx.value - paper_ldx_epi_pj()).abs() / paper_ldx_epi_pj();
+        assert!(
+            dev < 0.25,
+            "ldx EPI {:.1} pJ vs paper {:.1} ({:.0}%)",
+            ldx.value,
+            paper_ldx_epi_pj(),
+            dev * 100.0
+        );
+    }
+
+    #[test]
+    fn three_adds_cost_one_l1_load() {
+        // The §IV-E recompute-vs-load insight.
+        let r = quick_cases();
+        let add = r.row("add").unwrap().at(OperandPattern::Random).unwrap();
+        let ldx = r.row("ldx").unwrap().at(OperandPattern::Random).unwrap();
+        let ratio = ldx.value / add.value;
+        assert!((2.2..=3.8).contains(&ratio), "ldx/add ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn operand_values_shift_epi() {
+        let r = quick_cases();
+        let add = r.row("add").unwrap();
+        let min = add.at(OperandPattern::Minimum).unwrap().value;
+        let max = add.at(OperandPattern::Maximum).unwrap().value;
+        assert!(
+            max > 1.15 * min,
+            "operand effect too small: min {min:.1}, max {max:.1}"
+        );
+    }
+
+    #[test]
+    fn long_latency_instructions_cost_most() {
+        let r = quick_cases();
+        let add = r.row("add").unwrap().at(OperandPattern::Random).unwrap();
+        let div = r.row("sdivx").unwrap().at(OperandPattern::Random).unwrap();
+        assert!(div.value > 4.0 * add.value, "sdivx {} vs add {}", div.value, add.value);
+    }
+
+    #[test]
+    fn nop_has_single_pattern() {
+        let r = quick_cases();
+        let nop = r.row("nop").unwrap();
+        assert_eq!(nop.epi_pj.len(), 1);
+        assert!(nop.at(OperandPattern::Random).unwrap().value > 0.0);
+    }
+
+    #[test]
+    fn render_is_complete() {
+        let s = quick_cases().render();
+        assert!(s.contains("sdivx"));
+        assert!(s.contains("Latency"));
+    }
+}

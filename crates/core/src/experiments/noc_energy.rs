@@ -1,0 +1,221 @@
+//! Figure 12 — NoC energy per flit versus hop count and bit-switching
+//! pattern.
+//!
+//! The chipset logic streams dummy invalidation packets (one header +
+//! six payload flits, seven valid flits per 47 bridge cycles) into the
+//! chip at tile0, destined at tiles 0 through 8 hops away. For each of
+//! the four payload switching patterns (NSW/HSW/FSW/FSWA) the energy
+//! per flit is `EPF = (47/7) × (P_hop − P_base)/f`, and a linear fit
+//! over hops gives the paper's pJ/hop trendlines.
+
+use piton_arch::topology::TileId;
+use piton_board::system::PitonSystem;
+use piton_sim::machine::SwitchPattern;
+use serde::{Deserialize, Serialize};
+
+use super::Fidelity;
+use crate::measure::{epf_pj, linear_fit};
+use crate::report::Table;
+
+/// EPF series for one switching pattern.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PatternSeries {
+    /// Payload pattern.
+    pub pattern: String,
+    /// `(hops, EPF pJ)` for hops 0..=8 (0 is the baseline, 0 pJ by
+    /// construction).
+    pub points: Vec<(usize, f64)>,
+    /// Fitted slope in pJ/hop (the Figure 12 trendline).
+    pub pj_per_hop: f64,
+}
+
+/// The Figure 12 dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NocEnergyResult {
+    /// One series per switching pattern.
+    pub series: Vec<PatternSeries>,
+}
+
+/// Paper trendlines (pJ/hop): NSW 3.58, HSW 11.16, FSW 16.68,
+/// FSWA 16.98.
+#[must_use]
+pub fn paper_reference() -> Vec<(&'static str, f64)> {
+    vec![
+        ("NSW", 3.58),
+        ("HSW", 11.16),
+        ("FSW", 16.68),
+        ("FSWA", 16.98),
+    ]
+}
+
+fn measure_power(
+    pattern: SwitchPattern,
+    dst: TileId,
+    fidelity: Fidelity,
+    seed: u64,
+) -> piton_arch::units::Watts {
+    let mut sys = PitonSystem::new(
+        &piton_arch::config::ChipConfig::piton(),
+        piton_power::ChipCorner::typical(),
+        seed,
+    );
+    sys.set_chunk_cycles(fidelity.chunk_cycles);
+    // Drive traffic continuously; sample power per chunk of traffic.
+    let mut window = piton_board::monitor::MeasurementWindow::new();
+    // Warm the link wire state.
+    sys.machine_mut()
+        .run_invalidation_traffic(dst, pattern, fidelity.warmup_cycles / 4);
+    for _ in 0..fidelity.samples {
+        let before = sys.machine().counters().clone();
+        sys.machine_mut()
+            .run_invalidation_traffic(dst, pattern, fidelity.chunk_cycles);
+        let delta = sys.machine().counters().delta_since(&before);
+        let p = sys.power_model().power(&delta, sys.operating_point());
+        window.push(p.total());
+    }
+    window.mean()
+}
+
+/// Runs the Figure 12 sweep.
+#[must_use]
+pub fn run(fidelity: Fidelity) -> NocEnergyResult {
+    let mesh = piton_arch::topology::Mesh::piton();
+    let f = piton_arch::units::Hertz::from_mhz(500.05);
+    let mut series = Vec::new();
+    for (i, pattern) in SwitchPattern::ALL.into_iter().enumerate() {
+        let base = measure_power(pattern, TileId::new(0), fidelity, 0xE0 + i as u64);
+        let mut points = vec![(0usize, 0.0f64)];
+        for hops in 1..=8usize {
+            let dst = mesh
+                .tile_at_distance(TileId::new(0), hops)
+                .expect("5x5 mesh covers 0..=8 hops");
+            let p = measure_power(pattern, dst, fidelity, 0xE0 + i as u64);
+            points.push((hops, epf_pj(p, base, f)));
+        }
+        let fit: Vec<(f64, f64)> = points.iter().map(|&(h, e)| (h as f64, e)).collect();
+        let (_, slope) = linear_fit(&fit);
+        series.push(PatternSeries {
+            pattern: pattern.label().to_owned(),
+            points,
+            pj_per_hop: slope,
+        });
+    }
+    NocEnergyResult { series }
+}
+
+impl NocEnergyResult {
+    /// A series by pattern label.
+    #[must_use]
+    pub fn series_for(&self, label: &str) -> Option<&PatternSeries> {
+        self.series.iter().find(|s| s.pattern == label)
+    }
+
+    /// Exports the Figure 12 series as CSV (`pattern,hops,epf_pj`).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut t = Table::new("");
+        t.header(["pattern", "hops", "epf_pj"]);
+        for s in &self.series {
+            for (h, e) in &s.points {
+                t.row([s.pattern.clone(), h.to_string(), format!("{e:.3}")]);
+            }
+        }
+        t.to_csv()
+    }
+
+    /// Renders Figure 12.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut t = Table::new("Figure 12: NoC energy per flit (pJ) vs hops");
+        t.header([
+            "Hops", "NSW", "HSW", "FSW", "FSWA",
+        ]);
+        for h in 0..=8usize {
+            let cell = |label: &str| {
+                self.series_for(label)
+                    .and_then(|s| s.points.iter().find(|(hh, _)| *hh == h))
+                    .map_or_else(|| "-".to_owned(), |(_, e)| format!("{e:.1}"))
+            };
+            t.row([
+                h.to_string(),
+                cell("NSW"),
+                cell("HSW"),
+                cell("FSW"),
+                cell("FSWA"),
+            ]);
+        }
+        let mut out = t.render();
+        out.push_str("\nTrendlines (pJ/hop):\n");
+        for s in &self.series {
+            let paper = paper_reference()
+                .into_iter()
+                .find(|(l, _)| *l == s.pattern)
+                .map_or(0.0, |(_, v)| v);
+            out.push_str(&format!(
+                "  {}: {:.2} pJ/hop (paper ~{paper}, {})\n",
+                s.pattern,
+                s.pj_per_hop,
+                crate::report::vs_paper(s.pj_per_hop, paper)
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result() -> NocEnergyResult {
+        run(Fidelity::quick())
+    }
+
+    #[test]
+    fn epf_scales_linearly_with_hops() {
+        let r = result();
+        let hsw = r.series_for("HSW").unwrap();
+        // Check rough linearity: point at 8 hops ≈ 2x point at 4 hops.
+        let at4 = hsw.points[4].1;
+        let at8 = hsw.points[8].1;
+        let ratio = at8 / at4;
+        assert!((1.6..=2.4).contains(&ratio), "8/4 hop ratio {ratio}");
+    }
+
+    #[test]
+    fn trendlines_order_and_magnitude_match_figure_12() {
+        let r = result();
+        let slope = |l: &str| r.series_for(l).unwrap().pj_per_hop;
+        let (nsw, hsw, fsw, fswa) = (slope("NSW"), slope("HSW"), slope("FSW"), slope("FSWA"));
+        assert!(nsw < hsw && hsw < fsw, "ordering: {nsw} {hsw} {fsw}");
+        assert!(fswa >= fsw * 0.97, "FSWA {fswa} vs FSW {fsw}");
+        for (label, paper) in paper_reference() {
+            let measured = slope(label);
+            let dev = (measured - paper).abs() / paper;
+            assert!(
+                dev < 0.35,
+                "{label}: {measured:.2} pJ/hop vs paper {paper} ({:.0}%)",
+                dev * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn noc_energy_is_small_versus_computation() {
+        // The paper's headline: sending a flit across the whole chip
+        // (8 hops) costs about as much as one add (~95 pJ) — far from
+        // dominating.
+        let r = result();
+        let across_chip = r.series_for("HSW").unwrap().points[8].1;
+        assert!(
+            (40.0..200.0).contains(&across_chip),
+            "8-hop flit {across_chip} pJ"
+        );
+    }
+
+    #[test]
+    fn render_contains_trendlines() {
+        let s = result().render();
+        assert!(s.contains("Trendlines"));
+        assert!(s.contains("FSWA"));
+    }
+}

@@ -1,0 +1,31 @@
+//! The characterization framework — the paper's primary deliverable.
+//!
+//! This crate ties the simulator, power model, virtual bench and
+//! workloads together into the measurement methodology of §III/§IV and
+//! re-runs every table and figure of the evaluation:
+//!
+//! * [`measure`] — the EPI and EPF formulas, error propagation,
+//!   per-operation energy and trendline fitting;
+//! * [`experiments`] — one module per table/figure (see the module
+//!   docs for the full index);
+//! * [`report`] — plain-text rendering in the paper's row/column
+//!   shapes, with paper-versus-measured deviation columns.
+//!
+//! # Examples
+//!
+//! ```
+//! use piton_core::experiments::yield_stats;
+//!
+//! let result = yield_stats::run();
+//! assert_eq!(result.counts.good, 19); // Table IV
+//! println!("{}", result.render());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod measure;
+pub mod report;
+
+pub use experiments::Fidelity;

@@ -1,0 +1,395 @@
+//! The whole-chip machine: 25 cores, the coherent memory system, and the
+//! global cycle loop.
+//!
+//! [`Machine`] is the simulator's top level. Workloads are loaded onto
+//! hardware threads, the machine is stepped for a number of cycles (with
+//! dead-cycle fast-forwarding when every thread is stalled), and the
+//! resulting [`ActivityCounters`] window is handed to the power model.
+//!
+//! The machine also exposes the chipset-side dummy-packet injector used
+//! by the NoC energy study of §IV-G (Figure 12): the real experiment
+//! modified the chipset FPGA logic to stream invalidation packets into
+//! the chip through the chip bridge at tile0, producing seven valid NoC
+//! flits every 47 cycles due to the bandwidth mismatch between the
+//! 32-bit chip bridge and the 64-bit NoCs.
+//!
+//! # Examples
+//!
+//! ```
+//! use piton_sim::machine::Machine;
+//! use piton_sim::program::Program;
+//! use piton_arch::isa::Instruction;
+//! use piton_arch::config::ChipConfig;
+//!
+//! let mut m = Machine::new(&ChipConfig::default());
+//! m.load_thread(0.into(), 0, Program::from_instructions(vec![
+//!     Instruction::nop(),
+//!     Instruction::halt(),
+//! ]));
+//! assert!(m.run_until_halted(1_000));
+//! assert_eq!(m.counters().issues.iter().sum::<u64>(), 2);
+//! ```
+
+use std::sync::Arc;
+
+use piton_arch::config::ChipConfig;
+use piton_arch::topology::TileId;
+
+use crate::core::Core;
+use crate::events::ActivityCounters;
+use crate::memsys::MemorySystem;
+use crate::noc::NocId;
+use crate::program::Program;
+
+/// Cycles between valid-flit groups on the chip bridge (§IV-G: "for
+/// every 47 cycles there are seven valid NoC flits").
+pub const BRIDGE_PATTERN_CYCLES: u64 = 47;
+/// Valid flits per repeating bridge pattern (1 header + 6 payload).
+pub const BRIDGE_PATTERN_FLITS: usize = 7;
+
+/// Payload bit-switching pattern for NoC dummy packets (Figure 12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SwitchPattern {
+    /// No switching: all payload bits zero.
+    Nsw,
+    /// Half switching: flits alternate `0x3333…` / zero.
+    Hsw,
+    /// Full switching: flits alternate all-ones / zero.
+    Fsw,
+    /// Full switching alternate: flits alternate `0xAAAA…` / `0x5555…`
+    /// (coupling aggressors).
+    Fswa,
+}
+
+impl SwitchPattern {
+    /// All four patterns in the paper's legend order.
+    pub const ALL: [SwitchPattern; 4] = [
+        SwitchPattern::Nsw,
+        SwitchPattern::Hsw,
+        SwitchPattern::Fsw,
+        SwitchPattern::Fswa,
+    ];
+
+    /// The label used in Figure 12.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SwitchPattern::Nsw => "NSW",
+            SwitchPattern::Hsw => "HSW",
+            SwitchPattern::Fsw => "FSW",
+            SwitchPattern::Fswa => "FSWA",
+        }
+    }
+
+    /// The two alternating payload flit values.
+    #[must_use]
+    pub fn flit_pair(self) -> (u64, u64) {
+        match self {
+            SwitchPattern::Nsw => (0, 0),
+            SwitchPattern::Hsw => (0x3333_3333_3333_3333, 0),
+            SwitchPattern::Fsw => (u64::MAX, 0),
+            SwitchPattern::Fswa => (0xAAAA_AAAA_AAAA_AAAA, 0x5555_5555_5555_5555),
+        }
+    }
+}
+
+/// The simulated Piton chip.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    cfg: ChipConfig,
+    cores: Vec<Core>,
+    memsys: MemorySystem,
+    act: ActivityCounters,
+    now: u64,
+}
+
+impl Machine {
+    /// Builds an idle machine from a chip configuration.
+    #[must_use]
+    pub fn new(cfg: &ChipConfig) -> Self {
+        let cores = cfg
+            .topology()
+            .tiles()
+            .map(|t| {
+                Core::new(
+                    t,
+                    cfg.threads_per_core as usize,
+                    cfg.store_buffer_entries as usize,
+                )
+            })
+            .collect();
+        Self {
+            cfg: cfg.clone(),
+            cores,
+            memsys: MemorySystem::new(cfg),
+            act: ActivityCounters::new(),
+            now: 0,
+        }
+    }
+
+    /// The chip configuration.
+    #[must_use]
+    pub fn config(&self) -> &ChipConfig {
+        &self.cfg
+    }
+
+    /// Current cycle.
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Cumulative activity counters.
+    #[must_use]
+    pub fn counters(&self) -> &ActivityCounters {
+        &self.act
+    }
+
+    /// The memory system (for test inspection and data poking).
+    #[must_use]
+    pub fn memsys(&self) -> &MemorySystem {
+        &self.memsys
+    }
+
+    /// Mutable memory-system access (program loaders, experiments).
+    pub fn memsys_mut(&mut self) -> &mut MemorySystem {
+        &mut self.memsys
+    }
+
+    /// A core by tile (test inspection).
+    #[must_use]
+    pub fn core(&self, tile: TileId) -> &Core {
+        &self.cores[tile.index()]
+    }
+
+    /// Loads a program onto a hardware thread, writing its data image to
+    /// memory first.
+    pub fn load_thread(&mut self, tile: TileId, thread: usize, program: Program) {
+        for &(addr, value) in &program.data {
+            self.memsys.poke(addr, value);
+        }
+        self.cores[tile.index()].load_thread(thread, Arc::new(program));
+    }
+
+    /// Loads the same program onto thread `thread` of every one of the
+    /// first `n` tiles (the paper's 25-core EPI tests).
+    pub fn load_on_tiles(&mut self, n: usize, thread: usize, program: &Program) {
+        for i in 0..n {
+            self.load_thread(TileId::new(i), thread, program.clone());
+        }
+    }
+
+    /// Whether any hardware thread is still running.
+    #[must_use]
+    pub fn any_running(&self) -> bool {
+        self.cores.iter().any(Core::any_running)
+    }
+
+    /// Total instructions retired across the chip.
+    #[must_use]
+    pub fn retired(&self) -> u64 {
+        self.cores.iter().map(Core::retired).sum()
+    }
+
+    /// Runs for `cycles` cycles (the clock always ticks; idle cycles are
+    /// fast-forwarded but still counted, as the clock tree still burns
+    /// idle power).
+    pub fn run(&mut self, cycles: u64) {
+        let end = self.now + cycles;
+        while self.now < end {
+            let mut issued_any = false;
+            for core in &mut self.cores {
+                issued_any |= core.step(self.now, &mut self.memsys, &mut self.act);
+            }
+            self.act.cycles += 1;
+            self.now += 1;
+            if issued_any {
+                continue;
+            }
+            // Fast-forward to the next cycle any core can issue.
+            let next = self
+                .cores
+                .iter()
+                .filter_map(Core::next_ready_at)
+                .min()
+                .unwrap_or(end)
+                .min(end)
+                .max(self.now);
+            if next > self.now {
+                let skipped = next - self.now;
+                let running = self.cores.iter().filter(|c| c.any_running()).count() as u64;
+                self.act.cycles += skipped;
+                self.act.core_active_cycles += skipped * running;
+                self.act.mem_stall_cycles += skipped * running;
+                self.now = next;
+            }
+        }
+    }
+
+    /// Runs until every thread halts or `max_cycles` elapse. Returns
+    /// `true` if everything halted.
+    pub fn run_until_halted(&mut self, max_cycles: u64) -> bool {
+        let end = self.now + max_cycles;
+        while self.any_running() && self.now < end {
+            let chunk = 1_000.min(end - self.now);
+            self.run(chunk);
+        }
+        !self.any_running()
+    }
+
+    /// Records I/O transactions (SD card, serial port) crossing the
+    /// chip bridge — driven by workload models whose I/O the ISA-level
+    /// simulator does not execute (e.g. the SPECint surrogates with
+    /// high file activity, §IV-I).
+    pub fn record_io(&mut self, transactions: u64) {
+        self.act.io_transactions += transactions;
+        // Each transaction crosses the pin-limited bridge as a burst.
+        self.act.chip_bridge_flits += transactions * 20;
+    }
+
+    /// Drives the chipset-side NoC dummy-packet traffic of the Figure 12
+    /// experiment for `cycles` cycles: every 47 cycles, one packet of one
+    /// header flit plus six payload flits (alternating per `pattern`)
+    /// enters through the chip bridge at tile0 and routes to `dst` on
+    /// NoC2, where the L1.5 receives it as an invalidation.
+    pub fn run_invalidation_traffic(&mut self, dst: TileId, pattern: SwitchPattern, cycles: u64) {
+        let end = self.now + cycles;
+        let (even, odd) = pattern.flit_pair();
+        let entry = TileId::new(0);
+        let mut flit_toggle = false;
+        while self.now < end {
+            // Header carries the destination route; constant per run.
+            let mut flits = Vec::with_capacity(BRIDGE_PATTERN_FLITS);
+            flits.push(dst.index() as u64);
+            for _ in 0..BRIDGE_PATTERN_FLITS - 1 {
+                flits.push(if flit_toggle { odd } else { even });
+                flit_toggle = !flit_toggle;
+            }
+            self.act.chip_bridge_flits += BRIDGE_PATTERN_FLITS as u64;
+            self.memsys
+                .noc
+                .send(NocId::Noc2, entry, dst, &flits, &mut self.act);
+            // Receipt at the destination L1.5.
+            self.act.invalidations += 1;
+            self.act.l15_reads += 1;
+
+            let step = BRIDGE_PATTERN_CYCLES.min(end - self.now);
+            self.act.cycles += step;
+            self.now += step;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use piton_arch::isa::{Instruction, Opcode, Reg};
+
+    fn machine() -> Machine {
+        Machine::new(&ChipConfig::piton())
+    }
+
+    fn count_loop(iters: i64) -> Program {
+        Program::from_instructions(vec![
+            Instruction::movi(Reg::new(1), iters),
+            Instruction::movi(Reg::new(2), 1),
+            Instruction::alu(Opcode::Sub, Reg::new(1), Reg::new(1), Reg::new(2)),
+            Instruction::branch(Opcode::Bne, Reg::new(1), Reg::G0, 2),
+            Instruction::halt(),
+        ])
+    }
+
+    #[test]
+    fn runs_a_program_to_halt() {
+        let mut m = machine();
+        m.load_thread(TileId::new(0), 0, count_loop(10));
+        assert!(m.run_until_halted(10_000));
+        assert!(m.retired() > 20);
+    }
+
+    #[test]
+    fn twenty_five_cores_run_in_parallel() {
+        let mut m = machine();
+        let p = count_loop(100);
+        m.load_on_tiles(25, 0, &p);
+        assert!(m.run_until_halted(100_000));
+        // All 25 retire the same instruction count.
+        let per_core = m.core(TileId::new(0)).retired();
+        for t in m.config().topology().tiles() {
+            assert_eq!(m.core(t).retired(), per_core, "{t}");
+        }
+    }
+
+    #[test]
+    fn clock_keeps_counting_when_idle() {
+        let mut m = machine();
+        m.run(500);
+        assert_eq!(m.counters().cycles, 500);
+        assert_eq!(m.now(), 500);
+        assert_eq!(m.counters().total_issues(), 0);
+    }
+
+    #[test]
+    fn fast_forward_preserves_cycle_accounting() {
+        let mut m = machine();
+        // A single thread that stalls on a cold memory miss: the machine
+        // fast-forwards ~424 cycles but must still count them.
+        m.load_thread(
+            TileId::new(0),
+            0,
+            Program::from_instructions(vec![
+                Instruction::movi(Reg::new(1), 0x9000),
+                Instruction::ldx(Reg::new(2), Reg::new(1), 0),
+                Instruction::halt(),
+            ]),
+        );
+        assert!(m.run_until_halted(5_000));
+        assert!(m.counters().cycles >= 424);
+    }
+
+    #[test]
+    fn data_image_is_loaded_before_start() {
+        let mut m = machine();
+        let mut p = Program::from_instructions(vec![
+            Instruction::movi(Reg::new(1), 0x8000),
+            Instruction::ldx(Reg::new(2), Reg::new(1), 0),
+            Instruction::halt(),
+        ]);
+        p.data.push((0x8000, 777));
+        m.load_thread(TileId::new(3), 0, p);
+        assert!(m.run_until_halted(5_000));
+        assert_eq!(m.core(TileId::new(3)).reg(0, Reg::new(2)), 777);
+    }
+
+    #[test]
+    fn invalidation_traffic_produces_bridge_pattern() {
+        let mut m = machine();
+        let window = 47 * 100;
+        m.run_invalidation_traffic(TileId::new(4), SwitchPattern::Fsw, window);
+        let act = m.counters();
+        assert_eq!(act.noc_packets, 100);
+        assert_eq!(act.chip_bridge_flits, 700);
+        assert_eq!(act.cycles, window);
+        // FSW on 4 hops: payload flits alternate 64-bit toggles; header
+        // toggles only via payload juxtaposition.
+        assert!(act.noc_bit_switches > 100 * 4 * 5 * 32);
+    }
+
+    #[test]
+    fn nsw_traffic_switches_far_less_than_fsw() {
+        let mut nsw = machine();
+        nsw.run_invalidation_traffic(TileId::new(4), SwitchPattern::Nsw, 47 * 50);
+        let mut fsw = machine();
+        fsw.run_invalidation_traffic(TileId::new(4), SwitchPattern::Fsw, 47 * 50);
+        assert!(nsw.counters().noc_bit_switches * 4 < fsw.counters().noc_bit_switches);
+    }
+
+    #[test]
+    fn fswa_has_coupling_fsw_does_not() {
+        let mut fswa = machine();
+        fswa.run_invalidation_traffic(TileId::new(2), SwitchPattern::Fswa, 47 * 50);
+        let mut fsw = machine();
+        fsw.run_invalidation_traffic(TileId::new(2), SwitchPattern::Fsw, 47 * 50);
+        assert!(fswa.counters().noc_coupling_switches > 10 * fsw.counters().noc_coupling_switches.max(1));
+    }
+}

@@ -1,0 +1,91 @@
+//! Functional main memory.
+//!
+//! A sparse, word-addressed (64-bit) store backing the whole simulated
+//! physical address space. Timing never lives here — the cache hierarchy
+//! and chipset models own latency; this module owns *values*, which the
+//! power model needs because data-bit activity contributes to energy.
+
+use std::collections::HashMap;
+
+/// Sparse 64-bit-word main memory. Unwritten locations read as zero, like
+//  DRAM after the memory controller's init scrub.
+#[derive(Debug, Default, Clone)]
+pub struct Memory {
+    words: HashMap<u64, u64>,
+}
+
+impl Memory {
+    /// Creates an empty (all-zero) memory.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads the 64-bit word containing `addr` (the address is aligned
+    /// down to 8 bytes).
+    #[must_use]
+    pub fn read(&self, addr: u64) -> u64 {
+        self.words.get(&(addr & !7)).copied().unwrap_or(0)
+    }
+
+    /// Writes the 64-bit word containing `addr`.
+    pub fn write(&mut self, addr: u64, value: u64) {
+        let key = addr & !7;
+        if value == 0 {
+            self.words.remove(&key);
+        } else {
+            self.words.insert(key, value);
+        }
+    }
+
+    /// Atomically compares the word at `addr` with `expected`; if equal,
+    /// stores `new`. Returns the old value (SPARC `casx` semantics).
+    pub fn compare_and_swap(&mut self, addr: u64, expected: u64, new: u64) -> u64 {
+        let old = self.read(addr);
+        if old == expected {
+            self.write(addr, new);
+        }
+        old
+    }
+
+    /// Number of non-zero words resident (for tests/diagnostics).
+    #[must_use]
+    pub fn resident_words(&self) -> usize {
+        self.words.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_initialised() {
+        let m = Memory::new();
+        assert_eq!(m.read(0x1000), 0);
+    }
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut m = Memory::new();
+        m.write(0x1000, 0xdead_beef);
+        assert_eq!(m.read(0x1000), 0xdead_beef);
+        // Unaligned access hits the containing word.
+        assert_eq!(m.read(0x1004), 0xdead_beef);
+        m.write(0x1000, 0);
+        assert_eq!(m.read(0x1000), 0);
+        assert_eq!(m.resident_words(), 0);
+    }
+
+    #[test]
+    fn cas_semantics() {
+        let mut m = Memory::new();
+        m.write(0x40, 1);
+        // Mismatch: no store, returns old value.
+        assert_eq!(m.compare_and_swap(0x40, 0, 7), 1);
+        assert_eq!(m.read(0x40), 1);
+        // Match: stores, returns old value.
+        assert_eq!(m.compare_and_swap(0x40, 1, 7), 1);
+        assert_eq!(m.read(0x40), 7);
+    }
+}

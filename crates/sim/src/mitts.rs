@@ -1,0 +1,223 @@
+//! MITTS — the Memory Inter-arrival Time Traffic Shaper.
+//!
+//! Each Piton tile contains a MITTS unit (Zhou & Wentzlaff, ISCA'16)
+//! that fits the core's memory traffic into a configured inter-arrival
+//! time distribution, enabling memory-bandwidth sharing in multi-tenant
+//! systems. The characterization paper does not exercise MITTS (it is
+//! 0.17% of tile area, Figure 8) but it is part of the tile, so the
+//! shaper is modelled here: a set of inter-arrival-time *bins*, each with
+//! a refilling credit budget; a memory request must claim a credit from
+//! the bin matching the time since the previous request, otherwise it is
+//! delayed until some bin can admit it.
+//!
+//! # Examples
+//!
+//! ```
+//! use piton_sim::mitts::MittsShaper;
+//!
+//! // Unlimited shaper: everything passes immediately.
+//! let mut mitts = MittsShaper::unlimited();
+//! assert_eq!(mitts.admit(100), 100);
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+/// One inter-arrival-time bin: requests arriving within
+/// `[min_gap, next bin's min_gap)` cycles of the previous request draw
+/// from this bin's credits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MittsBin {
+    /// Minimum inter-arrival gap (cycles) for this bin.
+    pub min_gap: u64,
+    /// Credits granted per replenish period.
+    pub credits: u64,
+}
+
+/// The per-tile traffic shaper.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MittsShaper {
+    bins: Vec<MittsBin>,
+    /// Credits remaining this period, one slot per bin.
+    remaining: Vec<u64>,
+    /// Replenish period in cycles.
+    period: u64,
+    /// Start of the current period.
+    period_start: u64,
+    /// Cycle of the previous admitted request.
+    last_request: u64,
+    enabled: bool,
+}
+
+impl MittsShaper {
+    /// A disabled shaper that admits every request immediately (the
+    /// default configuration in the characterized system).
+    #[must_use]
+    pub fn unlimited() -> Self {
+        Self {
+            bins: Vec::new(),
+            remaining: Vec::new(),
+            period: u64::MAX,
+            period_start: 0,
+            last_request: 0,
+            enabled: false,
+        }
+    }
+
+    /// A shaper with the given bins (sorted by `min_gap`) and replenish
+    /// period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins` is empty, unsorted, or `period` is zero.
+    #[must_use]
+    pub fn with_bins(bins: Vec<MittsBin>, period: u64) -> Self {
+        assert!(!bins.is_empty(), "MITTS needs at least one bin");
+        assert!(period > 0, "replenish period must be non-zero");
+        assert!(
+            bins.windows(2).all(|w| w[0].min_gap < w[1].min_gap),
+            "bins must be sorted by ascending min_gap"
+        );
+        let remaining = bins.iter().map(|b| b.credits).collect();
+        Self {
+            bins,
+            remaining,
+            period,
+            period_start: 0,
+            last_request: 0,
+            enabled: true,
+        }
+    }
+
+    /// Whether shaping is active.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    fn replenish(&mut self, now: u64) {
+        if now >= self.period_start + self.period {
+            let periods = (now - self.period_start) / self.period;
+            self.period_start += periods * self.period;
+            for (slot, bin) in self.remaining.iter_mut().zip(&self.bins) {
+                *slot = bin.credits;
+            }
+        }
+    }
+
+    /// Bin index admitting a request with inter-arrival `gap`, i.e. the
+    /// largest bin whose `min_gap <= gap` with credits left.
+    fn claim(&mut self, gap: u64) -> bool {
+        for i in (0..self.bins.len()).rev() {
+            if self.bins[i].min_gap <= gap && self.remaining[i] > 0 {
+                self.remaining[i] -= 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Admits a memory request arriving at cycle `now`, returning the
+    /// cycle at which it may proceed (equal to `now` when unshaped or
+    /// credits are available; later when the request must wait).
+    pub fn admit(&mut self, now: u64) -> u64 {
+        if !self.enabled {
+            self.last_request = now;
+            return now;
+        }
+        self.replenish(now);
+        let gap = now.saturating_sub(self.last_request);
+        if self.claim(gap) {
+            self.last_request = now;
+            return now;
+        }
+        // Stall: wait for a bin with a larger gap requirement, or for the
+        // next replenish, whichever is sooner.
+        let next_gap_bin = self
+            .bins
+            .iter()
+            .zip(&self.remaining)
+            .filter(|(b, &r)| b.min_gap > gap && r > 0)
+            .map(|(b, _)| self.last_request + b.min_gap)
+            .min();
+        let next_period = self.period_start + self.period;
+        let when = next_gap_bin.unwrap_or(next_period).min(next_period).max(now + 1);
+        self.replenish(when);
+        let gap2 = when.saturating_sub(self.last_request);
+        let _ = self.claim(gap2); // bins refilled or gap satisfied
+        self.last_request = when;
+        when
+    }
+}
+
+impl Default for MittsShaper {
+    fn default() -> Self {
+        Self::unlimited()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_is_transparent() {
+        let mut m = MittsShaper::unlimited();
+        assert!(!m.is_enabled());
+        for t in [0, 1, 2, 100] {
+            assert_eq!(m.admit(t), t);
+        }
+    }
+
+    #[test]
+    fn credits_admit_then_exhaust() {
+        // One bin: gaps >= 0, 2 credits per 100-cycle period.
+        let mut m = MittsShaper::with_bins(vec![MittsBin { min_gap: 0, credits: 2 }], 100);
+        assert_eq!(m.admit(0), 0);
+        assert_eq!(m.admit(1), 1);
+        // Third request must wait for the period replenish.
+        let t = m.admit(2);
+        assert_eq!(t, 100);
+    }
+
+    #[test]
+    fn large_gap_bin_prefers_patient_requests() {
+        // Two bins: fast gaps (>=0) have 1 credit, slow gaps (>=50) have 4.
+        let mut m = MittsShaper::with_bins(
+            vec![
+                MittsBin { min_gap: 0, credits: 1 },
+                MittsBin { min_gap: 50, credits: 4 },
+            ],
+            1_000,
+        );
+        assert_eq!(m.admit(0), 0); // fast credit
+        // Back-to-back request: fast bin empty, must wait for gap 50.
+        assert_eq!(m.admit(1), 50);
+        // A naturally slow request (gap >= 50) passes immediately.
+        assert_eq!(m.admit(120), 120);
+    }
+
+    #[test]
+    fn replenish_restores_credits() {
+        let mut m = MittsShaper::with_bins(vec![MittsBin { min_gap: 0, credits: 1 }], 10);
+        assert_eq!(m.admit(0), 0);
+        assert_eq!(m.admit(25), 25); // two periods later: refilled
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn empty_bins_panics() {
+        let _ = MittsShaper::with_bins(vec![], 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_bins_panics() {
+        let _ = MittsShaper::with_bins(
+            vec![
+                MittsBin { min_gap: 10, credits: 1 },
+                MittsBin { min_gap: 5, credits: 1 },
+            ],
+            100,
+        );
+    }
+}

@@ -1,0 +1,245 @@
+//! The three physical networks-on-chip.
+//!
+//! Piton interconnects its tiles with three 64-bit physical NoCs carrying
+//! the coherence protocol (NoC1: requests, NoC2: forwards/invalidations,
+//! NoC3: responses). Routing is dimension-ordered wormhole with one cycle
+//! per hop and an extra cycle on turns.
+//!
+//! The model here is *transaction-level with per-wire activity*: a packet
+//! walks its dimension-ordered route atomically and we account, per
+//! physical link, the Hamming distance between consecutive flits — the
+//! quantity the NoC energy-per-flit study of §IV-G sweeps with its
+//! NSW/HSW/FSW/FSWA bit patterns — plus opposite-direction adjacent-bit
+//! transitions (coupling aggressors, the FSWA case). Congestion is not
+//! modelled; none of the paper's workloads saturates a NoC (see
+//! DESIGN.md).
+//!
+//! # Examples
+//!
+//! ```
+//! use piton_sim::noc::{NocId, NocFabric};
+//! use piton_sim::events::ActivityCounters;
+//! use piton_arch::topology::{Mesh, TileId};
+//!
+//! let mut noc = NocFabric::new(Mesh::piton());
+//! let mut act = ActivityCounters::default();
+//! let lat = noc.send(
+//!     NocId::Noc2,
+//!     TileId::new(0),
+//!     TileId::new(2),
+//!     &[0xFFFF_FFFF_FFFF_FFFF; 7],
+//!     &mut act,
+//! );
+//! assert_eq!(lat, 2); // two straight hops, no turn
+//! assert_eq!(act.noc_flit_hops, 14);
+//! ```
+
+use std::collections::HashMap;
+
+use piton_arch::topology::{Mesh, TileId};
+use serde::{Deserialize, Serialize};
+
+use crate::events::ActivityCounters;
+
+/// Which physical network a message travels on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NocId {
+    /// Requests (L1.5 → L2).
+    Noc1,
+    /// Forwards and invalidations (L2 → L1.5).
+    Noc2,
+    /// Responses (data, acks).
+    Noc3,
+}
+
+impl NocId {
+    /// All three physical networks.
+    pub const ALL: [NocId; 3] = [NocId::Noc1, NocId::Noc2, NocId::Noc3];
+
+    fn index(self) -> usize {
+        match self {
+            NocId::Noc1 => 0,
+            NocId::Noc2 => 1,
+            NocId::Noc3 => 2,
+        }
+    }
+}
+
+/// Counts bits that toggled between consecutive flits on a link.
+#[must_use]
+pub fn hamming(prev: u64, cur: u64) -> u32 {
+    (prev ^ cur).count_ones()
+}
+
+/// Counts adjacent bit pairs that toggled in *opposite* directions — the
+/// coupling-aggressor events that make the paper's FSWA pattern slightly
+/// more expensive than FSW.
+#[must_use]
+pub fn coupling_transitions(prev: u64, cur: u64) -> u32 {
+    let changed = prev ^ cur;
+    let rising = cur & changed;
+    let falling = !cur & changed;
+    (rising & (falling >> 1)).count_ones() + (falling & (rising >> 1)).count_ones()
+}
+
+/// The three physical mesh networks with per-link wire state.
+#[derive(Debug, Clone)]
+pub struct NocFabric {
+    mesh: Mesh,
+    /// Last flit value seen on each directed link, per network.
+    link_state: [HashMap<(TileId, TileId), u64>; 3],
+}
+
+impl NocFabric {
+    /// Creates an idle fabric over a mesh.
+    #[must_use]
+    pub fn new(mesh: Mesh) -> Self {
+        Self {
+            mesh,
+            link_state: [HashMap::new(), HashMap::new(), HashMap::new()],
+        }
+    }
+
+    /// The underlying mesh.
+    #[must_use]
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// Sends one packet (`flits`, header first) from `src` to `dst` on
+    /// network `noc`, accounting link activity into `act`.
+    ///
+    /// Returns the head-flit network latency in cycles: one per hop plus
+    /// one per turn (serialization of the body behind the head is folded
+    /// into the caller's transaction latency model).
+    pub fn send(
+        &mut self,
+        noc: NocId,
+        src: TileId,
+        dst: TileId,
+        flits: &[u64],
+        act: &mut ActivityCounters,
+    ) -> u64 {
+        let route = self.mesh.route(src, dst);
+        act.noc_packets += 1;
+        act.noc_route_computes += route.hops as u64;
+
+        if route.hops == 0 {
+            // Local delivery still traverses the router's local port once.
+            act.noc_flit_hops += flits.len() as u64;
+            return 0;
+        }
+
+        let links = self.link_state[noc.index()].len(); // pre-touch for determinism docs
+        let _ = links;
+        let mut at = src;
+        while let Some(next) = self.mesh.next_hop(at, dst) {
+            let state = self.link_state[noc.index()]
+                .entry((at, next))
+                .or_insert(0u64);
+            for &flit in flits {
+                act.noc_flit_hops += 1;
+                act.noc_bit_switches += u64::from(hamming(*state, flit));
+                act.noc_coupling_switches += u64::from(coupling_transitions(*state, flit));
+                *state = flit;
+            }
+            at = next;
+        }
+        route.latency_cycles()
+    }
+
+    /// Resets all link wire state to zero (quiescent network).
+    pub fn quiesce(&mut self) {
+        for net in &mut self.link_state {
+            net.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fabric() -> (NocFabric, ActivityCounters) {
+        (NocFabric::new(Mesh::piton()), ActivityCounters::default())
+    }
+
+    #[test]
+    fn hamming_and_coupling() {
+        assert_eq!(hamming(0, u64::MAX), 64);
+        assert_eq!(hamming(0xF0, 0x0F), 8);
+        // FSW: all bits rise together -> no opposite-direction pairs.
+        assert_eq!(coupling_transitions(0, u64::MAX), 0);
+        // FSWA: 0xAAAA.. -> 0x5555..: every adjacent pair is opposite.
+        assert_eq!(
+            coupling_transitions(0xAAAA_AAAA_AAAA_AAAA, 0x5555_5555_5555_5555),
+            63
+        );
+        // No change -> nothing.
+        assert_eq!(coupling_transitions(0x42, 0x42), 0);
+    }
+
+    #[test]
+    fn zero_hop_delivery_is_free_of_link_switching() {
+        let (mut noc, mut act) = fabric();
+        let lat = noc.send(NocId::Noc1, TileId::new(3), TileId::new(3), &[u64::MAX; 7], &mut act);
+        assert_eq!(lat, 0);
+        assert_eq!(act.noc_bit_switches, 0);
+        assert_eq!(act.noc_flit_hops, 7);
+    }
+
+    #[test]
+    fn switching_scales_with_hops() {
+        // Alternating all-ones/all-zeros payload (FSW): 64 switches per
+        // flit per link after the first flit primes the wires.
+        let flits = [u64::MAX, 0, u64::MAX, 0, u64::MAX, 0, u64::MAX];
+        let (mut noc, mut act) = fabric();
+        noc.send(NocId::Noc1, TileId::new(0), TileId::new(1), &flits, &mut act);
+        let one_hop = act.noc_bit_switches;
+
+        let (mut noc2, mut act2) = fabric();
+        noc2.send(NocId::Noc1, TileId::new(0), TileId::new(4), &flits, &mut act2);
+        let four_hops = act2.noc_bit_switches;
+        assert_eq!(four_hops, 4 * one_hop);
+        assert_eq!(act2.noc_flit_hops, 4 * 7);
+    }
+
+    #[test]
+    fn nsw_payload_switches_nothing_on_warm_links() {
+        let flits = [0u64; 7];
+        let (mut noc, mut act) = fabric();
+        // First packet primes (links start at zero so NSW never switches).
+        noc.send(NocId::Noc1, TileId::new(0), TileId::new(4), &flits, &mut act);
+        assert_eq!(act.noc_bit_switches, 0);
+    }
+
+    #[test]
+    fn turn_adds_latency() {
+        let (mut noc, mut act) = fabric();
+        let straight = noc.send(NocId::Noc1, TileId::new(0), TileId::new(4), &[0], &mut act);
+        assert_eq!(straight, 4);
+        let turning = noc.send(NocId::Noc1, TileId::new(0), TileId::new(9), &[0], &mut act);
+        assert_eq!(turning, 6); // 5 hops + turn
+    }
+
+    #[test]
+    fn networks_have_independent_wire_state() {
+        let (mut noc, mut act) = fabric();
+        noc.send(NocId::Noc1, TileId::new(0), TileId::new(1), &[u64::MAX], &mut act);
+        let after_first = act.noc_bit_switches;
+        assert_eq!(after_first, 64);
+        // Same flit on NoC3: its wires are still at zero, so it switches
+        // another 64 bits rather than zero.
+        noc.send(NocId::Noc3, TileId::new(0), TileId::new(1), &[u64::MAX], &mut act);
+        assert_eq!(act.noc_bit_switches, 128);
+    }
+
+    #[test]
+    fn quiesce_clears_wires() {
+        let (mut noc, mut act) = fabric();
+        noc.send(NocId::Noc1, TileId::new(0), TileId::new(1), &[u64::MAX], &mut act);
+        noc.quiesce();
+        noc.send(NocId::Noc1, TileId::new(0), TileId::new(1), &[u64::MAX], &mut act);
+        assert_eq!(act.noc_bit_switches, 128); // switched again after reset
+    }
+}

@@ -1,0 +1,213 @@
+//! A small embedded assembler for building test programs.
+//!
+//! The paper's EPI and memory-system studies are driven by hand-written
+//! assembly tests (unrolled loops, carefully placed `nop`s); this module
+//! provides the label-resolving builder those tests are written with.
+//!
+//! # Examples
+//!
+//! ```
+//! use piton_workloads::asm::Assembler;
+//! use piton_arch::isa::{Opcode, Reg};
+//!
+//! let mut a = Assembler::new();
+//! a.movi(Reg::new(1), 3);
+//! a.label("loop");
+//! a.alu(Opcode::Sub, Reg::new(1), Reg::new(1), Reg::new(2));
+//! a.branch_to(Opcode::Bne, Reg::new(1), Reg::G0, "loop");
+//! a.halt();
+//! let program = a.assemble();
+//! assert_eq!(program.len(), 4);
+//! ```
+
+use std::collections::HashMap;
+
+use piton_arch::isa::{Instruction, Opcode, Reg};
+use piton_sim::program::Program;
+
+/// A label-resolving program builder.
+#[derive(Debug, Default, Clone)]
+pub struct Assembler {
+    instructions: Vec<Instruction>,
+    labels: HashMap<String, usize>,
+    fixups: Vec<(usize, String)>,
+    data: Vec<(u64, u64)>,
+}
+
+impl Assembler {
+    /// Creates an empty assembler.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current instruction index (where the next instruction lands).
+    #[must_use]
+    pub fn here(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// Defines a label at the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already defined.
+    pub fn label(&mut self, name: &str) -> &mut Self {
+        let prev = self.labels.insert(name.to_owned(), self.here());
+        assert!(prev.is_none(), "label `{name}` defined twice");
+        self
+    }
+
+    /// Emits a raw instruction.
+    pub fn emit(&mut self, i: Instruction) -> &mut Self {
+        self.instructions.push(i);
+        self
+    }
+
+    /// Emits `nop`.
+    pub fn nop(&mut self) -> &mut Self {
+        self.emit(Instruction::nop())
+    }
+
+    /// Emits `count` `nop`s.
+    pub fn nops(&mut self, count: usize) -> &mut Self {
+        for _ in 0..count {
+            self.nop();
+        }
+        self
+    }
+
+    /// Emits a three-register ALU/FP operation.
+    pub fn alu(&mut self, op: Opcode, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.emit(Instruction::alu(op, rd, rs1, rs2))
+    }
+
+    /// Emits `movi rd, value`.
+    pub fn movi(&mut self, rd: Reg, value: i64) -> &mut Self {
+        self.emit(Instruction::movi(rd, value))
+    }
+
+    /// Emits `ldx rd, [base + offset]`.
+    pub fn ldx(&mut self, rd: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.emit(Instruction::ldx(rd, base, offset))
+    }
+
+    /// Emits `stx src, [base + offset]`.
+    pub fn stx(&mut self, src: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.emit(Instruction::stx(src, base, offset))
+    }
+
+    /// Emits `casx [addr], expected, rd`.
+    pub fn casx(&mut self, rd: Reg, addr: Reg, expected: Reg) -> &mut Self {
+        self.emit(Instruction::casx(rd, addr, expected))
+    }
+
+    /// Emits `membar`.
+    pub fn membar(&mut self) -> &mut Self {
+        self.emit(Instruction::membar())
+    }
+
+    /// Emits `halt`.
+    pub fn halt(&mut self) -> &mut Self {
+        self.emit(Instruction::halt())
+    }
+
+    /// Emits a branch to a label (forward references allowed).
+    pub fn branch_to(&mut self, op: Opcode, rs1: Reg, rs2: Reg, label: &str) -> &mut Self {
+        let at = self.here();
+        self.fixups.push((at, label.to_owned()));
+        self.emit(Instruction::branch(op, rs1, rs2, usize::MAX))
+    }
+
+    /// Emits an unconditional jump to a label (`beq %g0, %g0, label`).
+    pub fn jump(&mut self, label: &str) -> &mut Self {
+        self.branch_to(Opcode::Beq, Reg::G0, Reg::G0, label)
+    }
+
+    /// Adds a word to the initial data image.
+    pub fn data_word(&mut self, addr: u64, value: u64) -> &mut Self {
+        self.data.push((addr, value));
+        self
+    }
+
+    /// Resolves labels and produces the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a branch to an undefined label.
+    #[must_use]
+    pub fn assemble(&self) -> Program {
+        let mut instructions = self.instructions.clone();
+        for (at, label) in &self.fixups {
+            let target = *self
+                .labels
+                .get(label)
+                .unwrap_or_else(|| panic!("undefined label `{label}`"));
+            instructions[*at].imm = target as i64;
+        }
+        Program {
+            instructions,
+            data: self.data.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use piton_arch::config::ChipConfig;
+    use piton_arch::topology::TileId;
+    use piton_sim::machine::Machine;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut a = Assembler::new();
+        a.movi(Reg::new(1), 2);
+        a.movi(Reg::new(2), 1);
+        a.label("loop");
+        a.alu(Opcode::Sub, Reg::new(1), Reg::new(1), Reg::new(2));
+        a.branch_to(Opcode::Beq, Reg::new(1), Reg::G0, "done"); // forward
+        a.jump("loop"); // backward
+        a.label("done");
+        a.halt();
+        let p = a.assemble();
+
+        let mut m = Machine::new(&ChipConfig::piton());
+        m.load_thread(TileId::new(0), 0, p);
+        assert!(m.run_until_halted(10_000));
+        assert_eq!(m.core(TileId::new(0)).reg(0, Reg::new(1)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined label")]
+    fn undefined_label_panics() {
+        let mut a = Assembler::new();
+        a.jump("nowhere");
+        let _ = a.assemble();
+    }
+
+    #[test]
+    #[should_panic(expected = "defined twice")]
+    fn duplicate_label_panics() {
+        let mut a = Assembler::new();
+        a.label("x");
+        a.nop();
+        a.label("x");
+    }
+
+    #[test]
+    fn data_words_attach_to_program() {
+        let mut a = Assembler::new();
+        a.data_word(0x1000, 42).nop().halt();
+        let p = a.assemble();
+        assert_eq!(p.data, vec![(0x1000, 42)]);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn nops_emits_count() {
+        let mut a = Assembler::new();
+        a.nops(9).halt();
+        assert_eq!(a.assemble().len(), 10);
+    }
+}

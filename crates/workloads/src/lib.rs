@@ -1,0 +1,43 @@
+//! Workloads of the HPCA'18 Piton characterization study.
+//!
+//! Everything the paper runs on the chip is built here, from the
+//! hand-written assembly tests up to application surrogates:
+//!
+//! * [`asm`] — the label-resolving assembler the tests are written in;
+//! * [`epi`] — the §IV-E energy-per-instruction tests (unrolled ×20
+//!   loops, min/random/max operands, the nine-`nop` store-drain trick);
+//! * [`memwalk`] — the §IV-F cache alias walkers for each Table VII
+//!   hit/miss scenario;
+//! * [`micro`] — the §IV-H microbenchmarks (Int, HP, Hist) and the
+//!   1 T/C / 2 T/C thread mappings;
+//! * [`spec`] — SPECint 2006 surrogate profiles, synthetic kernels and
+//!   the Sun Fire T2000 comparator of §IV-I;
+//! * [`thermal_app`] — the §IV-J two-phase application with
+//!   synchronized and interleaved schedules.
+//!
+//! # Examples
+//!
+//! ```
+//! use piton_workloads::epi::{epi_test, EpiCase};
+//! use piton_arch::isa::{Opcode, OperandPattern};
+//!
+//! let program = epi_test(EpiCase::Plain(Opcode::Add), OperandPattern::Random, 0);
+//! assert!(program.fits_in(16 * 1024)); // fits the L1I, per §IV-E
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod epi;
+pub mod memwalk;
+pub mod micro;
+pub mod spec;
+pub mod thermal_app;
+
+pub use asm::Assembler;
+pub use epi::EpiCase;
+pub use memwalk::MemScenario;
+pub use micro::{Microbenchmark, RunLength, ThreadsPerCore};
+pub use spec::{SpecBenchmark, T2000Model};
+pub use thermal_app::Schedule;

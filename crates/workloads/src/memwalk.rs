@@ -1,0 +1,239 @@
+//! Cache alias walkers — the memory-system energy tests of §IV-F.
+//!
+//! Each scenario of Table VII is an unrolled infinite loop of `ldx`
+//! whose consecutive loads alias to the same cache set at the level that
+//! must miss, while the line-to-L2-slice mapping (set to high-order
+//! address bits, as the paper configures through software) pins the home
+//! slice so local-versus-remote distance is controlled:
+//!
+//! | scenario | construction |
+//! |---|---|
+//! | L1 hit | one address, loaded repeatedly |
+//! | L1 miss, L2 hit | ≥ 5 addresses 2 KB apart (same L1/L1.5 set, 4 ways) within one slice's 1 MB region |
+//! | L1 miss, L2 miss | ≥ 5 addresses 16 KB apart (same L2 set, 4 ways) within one region |
+//!
+//! The home tile is selected by the high megabyte bits; the running tile
+//! is always tile0, so homing at tile0/tile4/tile24 produces the
+//! local / 4-hop / 8-hop rows.
+
+use piton_arch::config::CacheConfig;
+use piton_arch::isa::Reg;
+use piton_sim::program::Program;
+
+use crate::asm::Assembler;
+
+/// The Table VII access scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemScenario {
+    /// All loads hit the L1.
+    L1Hit,
+    /// Loads miss the L1/L1.5 and hit the home L2 slice of `home_tile`.
+    L2Hit {
+        /// Tile whose slice homes the data.
+        home_tile: usize,
+    },
+    /// Loads miss everywhere (L2 set thrash) at the local slice.
+    L2Miss,
+}
+
+impl MemScenario {
+    /// The five Table VII rows (running tile is tile0).
+    #[must_use]
+    pub fn table_vii() -> Vec<(MemScenario, &'static str)> {
+        vec![
+            (MemScenario::L1Hit, "L1 Hit"),
+            (MemScenario::L2Hit { home_tile: 0 }, "L1 Miss, Local L2 Hit"),
+            (
+                MemScenario::L2Hit { home_tile: 4 },
+                "L1 Miss, Remote L2 Hit (4 hops)",
+            ),
+            (
+                MemScenario::L2Hit { home_tile: 24 },
+                "L1 Miss, Remote L2 Hit (8 hops)",
+            ),
+            (MemScenario::L2Miss, "L1 Miss, Local L2 Miss"),
+        ]
+    }
+}
+
+/// Base address of the 1 MB region homed at `tile` under the high-bit
+/// slice mapping (`(addr >> 20) % 25`).
+#[must_use]
+pub fn region_base(tile: usize) -> u64 {
+    assert!(tile < 25, "tile out of range");
+    (tile as u64) << 20
+}
+
+/// The load addresses of one scenario.
+#[must_use]
+pub fn scenario_addresses(scenario: MemScenario, l1d: CacheConfig, l2: CacheConfig) -> Vec<u64> {
+    match scenario {
+        MemScenario::L1Hit => vec![region_base(0) + 0x40],
+        MemScenario::L2Hit { home_tile } => {
+            // Stride = one L1 way (sets × line): 2 KB for the 8 KB/4-way
+            // L1D; > associativity distinct lines thrash L1 and L1.5
+            // (identical geometry) while all fit in the 64 KB L2.
+            let stride = l1d.sets() * l1d.line_bytes;
+            let base = region_base(home_tile) + 0x40;
+            (0..(l1d.associativity + 2)).map(|k| base + k * stride).collect()
+        }
+        MemScenario::L2Miss => {
+            // Stride = one L2 way (16 KB): same L2 set, > associativity
+            // lines; every access misses to memory. (Also a multiple of
+            // the L1 way stride, so the L1 thrashes too.)
+            let stride = l2.sets() * l2.line_bytes;
+            let base = region_base(0) + 0x40;
+            (0..(l2.associativity + 2)).map(|k| base + k * stride).collect()
+        }
+    }
+}
+
+/// Builds the unrolled `ldx` walker over the scenario's addresses.
+///
+/// Addresses are preloaded into registers so the measured loop contains
+/// only `ldx` and the loop branch. Every word carries a random-looking
+/// value (the paper's memory-energy results "are based on random data").
+#[must_use]
+pub fn ldx_walker(addresses: &[u64]) -> Program {
+    assert!(!addresses.is_empty() && addresses.len() <= 20, "1..=20 addresses");
+    let mut asm = Assembler::new();
+    // Registers r8.. hold the addresses.
+    for (i, &addr) in addresses.iter().enumerate() {
+        let r = Reg::new(8 + i as u8);
+        asm.movi(r, addr as i64);
+        asm.data_word(addr, addr.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1);
+    }
+    asm.label("loop");
+    // Unroll to ~20 loads per iteration, cycling through the addresses.
+    // The unrolled count is a multiple of the address count so the
+    // cyclic access pattern continues seamlessly across the loop
+    // branch; otherwise the wrap re-touches a recently-used address
+    // within the associativity window and produces spurious L1 hits.
+    let reps = (crate::epi::UNROLL / addresses.len()).max(1) * addresses.len();
+    for k in 0..reps {
+        let r = Reg::new(8 + (k % addresses.len()) as u8);
+        asm.ldx(Reg::new(1), r, 0);
+    }
+    asm.jump("loop");
+    asm.assemble()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use piton_arch::config::{ChipConfig, SliceMapping};
+    use piton_arch::topology::TileId;
+    use piton_sim::machine::Machine;
+    use piton_sim::memsys::{HitLevel, MemorySystem};
+
+    fn high_mapped_config() -> ChipConfig {
+        let mut cfg = ChipConfig::piton();
+        cfg.slice_mapping = SliceMapping::High;
+        cfg
+    }
+
+    #[test]
+    fn regions_home_where_claimed() {
+        let sys = MemorySystem::new(&high_mapped_config());
+        for tile in [0usize, 4, 24] {
+            let base = region_base(tile) + 0x40;
+            assert_eq!(sys.home_slice(base).index(), tile, "tile {tile}");
+        }
+    }
+
+    #[test]
+    fn l2hit_addresses_alias_one_l1_set_but_distinct_l2_sets() {
+        let cfg = high_mapped_config();
+        let addrs = scenario_addresses(MemScenario::L2Hit { home_tile: 0 }, cfg.l1d, cfg.l2);
+        assert_eq!(addrs.len(), 6);
+        let l1 = piton_sim::cache::SetAssocCache::new(cfg.l1d);
+        let l2 = piton_sim::cache::SetAssocCache::new(cfg.l2);
+        let s0 = l1.set_index(addrs[0]);
+        for &a in &addrs {
+            assert_eq!(l1.set_index(a), s0, "L1 sets must alias");
+        }
+        let distinct: std::collections::HashSet<u64> =
+            addrs.iter().map(|&a| l2.set_index(a)).collect();
+        assert!(distinct.len() > 1, "L2 sets must not all alias");
+    }
+
+    #[test]
+    fn l2miss_addresses_alias_one_l2_set() {
+        let cfg = high_mapped_config();
+        let addrs = scenario_addresses(MemScenario::L2Miss, cfg.l1d, cfg.l2);
+        let l2 = piton_sim::cache::SetAssocCache::new(cfg.l2);
+        let s0 = l2.set_index(addrs[0]);
+        for &a in &addrs {
+            assert_eq!(l2.set_index(a), s0);
+        }
+        // All in tile0's region.
+        let sys = MemorySystem::new(&cfg);
+        for &a in &addrs {
+            assert_eq!(sys.home_slice(a).index(), 0);
+        }
+    }
+
+    fn run_scenario(scenario: MemScenario, cycles: u64) -> (piton_sim::events::ActivityCounters, u64) {
+        let cfg = high_mapped_config();
+        let addrs = scenario_addresses(scenario, cfg.l1d, cfg.l2);
+        let mut m = Machine::new(&cfg);
+        m.load_thread(TileId::new(0), 0, ldx_walker(&addrs));
+        m.run(cycles);
+        let loads = m.counters().issues[piton_arch::isa::Opcode::Ldx.index()];
+        (m.counters().clone(), loads)
+    }
+
+    #[test]
+    fn l1hit_scenario_hits_after_warmup() {
+        let (act, loads) = run_scenario(MemScenario::L1Hit, 20_000);
+        assert!(loads > 4_000);
+        assert!(act.l1d_misses <= 2);
+    }
+
+    #[test]
+    fn l2hit_scenario_misses_l1_every_time_but_not_l2() {
+        let (act, loads) = run_scenario(MemScenario::L2Hit { home_tile: 0 }, 40_000);
+        assert!(loads > 500);
+        // Steady state: every load misses L1 (alias thrash)...
+        assert!(
+            act.l1d_misses > loads - 20,
+            "l1 misses {} of {loads}",
+            act.l1d_misses
+        );
+        // ...but only the 6 cold misses leave the chip.
+        assert!(act.l2_misses <= 6, "l2 misses {}", act.l2_misses);
+    }
+
+    #[test]
+    fn l2miss_scenario_leaves_the_chip_every_time() {
+        let (act, loads) = run_scenario(MemScenario::L2Miss, 400_000);
+        assert!(loads > 200);
+        assert!(
+            act.l2_misses > loads - 10,
+            "l2 misses {} of {loads}",
+            act.l2_misses
+        );
+        assert_eq!(act.dram_accesses, 2 * act.offchip_requests);
+    }
+
+    #[test]
+    fn remote_scenario_reports_hop_latency() {
+        // Direct memory-system check: a warm remote L2 hit from tile0 to
+        // tile24's slice costs 52 cycles (Table VII).
+        let cfg = high_mapped_config();
+        let mut sys = MemorySystem::new(&cfg);
+        let mut act = piton_sim::events::ActivityCounters::default();
+        let addr = region_base(24) + 0x40;
+        let _ = sys.load(TileId::new(24), addr, 0, &mut act); // warm L2
+        let out = sys.load(TileId::new(0), addr, 5_000, &mut act);
+        assert_eq!(out.level, HitLevel::L2 { hops: 8 });
+        assert_eq!(out.latency, 52);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=20 addresses")]
+    fn too_many_addresses_panics() {
+        let addrs: Vec<u64> = (0..30).map(|k| 0x1000 + k * 64).collect();
+        let _ = ldx_walker(&addrs);
+    }
+}

@@ -1,0 +1,61 @@
+//! Quickstart: assemble the virtual Piton bench, print the chip's
+//! architectural parameters (Table I), and take the Table V power
+//! measurements — static power with clocks grounded, then idle power at
+//! the 500.05 MHz default operating point.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use piton::arch::config::{ChipConfig, MeasurementDefaults, SystemFrequencies};
+use piton::board::system::PitonSystem;
+
+fn main() {
+    let cfg = ChipConfig::piton();
+    println!("== Piton (Table I) ==");
+    println!("process:           {}", cfg.process);
+    println!(
+        "die:               {:.0} mm² ({} tiles, {} threads)",
+        cfg.die_area_mm2(),
+        cfg.tile_count(),
+        cfg.total_thread_count()
+    );
+    println!(
+        "caches:            L1I {} KB, L1D {} KB, L1.5 {} KB, L2 {} KB/slice ({} KB aggregate)",
+        cfg.l1i.size_bytes / 1024,
+        cfg.l1d.size_bytes / 1024,
+        cfg.l15.size_bytes / 1024,
+        cfg.l2.size_bytes / 1024,
+        cfg.l2_total_bytes() / 1024
+    );
+    println!(
+        "NoCs:              {} × {}-bit, {}×{} mesh (diameter {} hops)",
+        cfg.noc_count,
+        cfg.noc_width_bits,
+        cfg.topology().width(),
+        cfg.topology().height(),
+        cfg.topology().diameter()
+    );
+
+    let defaults = MeasurementDefaults::table_iii();
+    println!("\n== Default measurement parameters (Table III) ==");
+    println!(
+        "VDD {} / VCS {} / VIO {} @ {:.2} MHz",
+        defaults.vdd,
+        defaults.vcs,
+        defaults.vio,
+        defaults.core_clock.as_mhz()
+    );
+    let freqs = SystemFrequencies::piton_system();
+    println!(
+        "system clocks (Table II): gateway {} MHz, chipset {} MHz, DRAM PHY {} MHz",
+        freqs.gateway_to_piton.as_mhz(),
+        freqs.chipset_logic.as_mhz(),
+        freqs.dram_phy.as_mhz()
+    );
+
+    println!("\n== Table V measurements (Chip #2) ==");
+    let mut sys = PitonSystem::reference_chip_2();
+    let static_power = sys.measure_static_power();
+    println!("static power @ room temperature:  {static_power}  (paper: 389.3±1.5 mW)");
+    let idle = sys.measure_idle_power();
+    println!("idle power @ 500.05 MHz:          {idle}  (paper: 2015.3±1.5 mW)");
+}

@@ -1,0 +1,44 @@
+//! Multithreading versus multicore (a slice of Figure 14).
+//!
+//! Runs the Int and Hist microbenchmarks with 16 threads as 16
+//! single-threaded cores (multicore) and as 8 dual-threaded cores
+//! (multithreading), then compares power, execution time and energy with
+//! the paper's idle-charging convention.
+//!
+//! Run with: `cargo run --release --example threads_vs_cores`
+
+use piton::characterization::experiments::{mt_vs_mc, Fidelity};
+use piton::workloads::micro::{Microbenchmark, ThreadsPerCore};
+
+fn main() {
+    println!("Measuring 16 threads as multicore (1 T/C) and multithreading (2 T/C)...\n");
+    let result = mt_vs_mc::run_with_threads(&[16], Fidelity::quick());
+    println!("{}", result.render());
+
+    for bench in [Microbenchmark::Int, Microbenchmark::Hist] {
+        let s = result.series_for(bench);
+        let mc = s
+            .points
+            .iter()
+            .find(|p| p.tpc == ThreadsPerCore::One)
+            .unwrap();
+        let mt = s
+            .points
+            .iter()
+            .find(|p| p.tpc == ThreadsPerCore::Two)
+            .unwrap();
+        let winner = if mt.total_energy().0 < mc.total_energy().0 {
+            "multithreading"
+        } else {
+            "multicore"
+        };
+        println!(
+            "{:4}: MT {:.1} µJ vs MC {:.1} µJ  →  {winner} is more energy efficient",
+            bench.label(),
+            mt.total_energy().0 * 1e6,
+            mc.total_energy().0 * 1e6,
+        );
+    }
+    println!("\n§IV-H2: integer-bound code favors multicore; workloads with");
+    println!("memory/compute overlap (Hist) favor multithreading.");
+}

@@ -1,0 +1,33 @@
+//! # piton — facade for the Piton power/energy characterization reproduction
+//!
+//! This crate re-exports the whole workspace behind one dependency, and
+//! hosts the runnable examples (`examples/`) and cross-crate integration
+//! tests (`tests/`).
+//!
+//! The workspace reproduces, in simulation, the HPCA 2018 paper *Power
+//! and Energy Characterization of an Open Source 25-Core Manycore
+//! Processor* (McKeown et al.): a cycle-level model of the Piton chip, a
+//! calibrated power/energy/thermal model, a virtual lab bench, the
+//! paper's workloads, and an experiment harness that regenerates every
+//! table and figure of the evaluation. See `DESIGN.md` for the system
+//! inventory and `EXPERIMENTS.md` for paper-versus-measured results.
+//!
+//! # Examples
+//!
+//! ```
+//! use piton::board::system::PitonSystem;
+//!
+//! let mut system = PitonSystem::reference_chip_2();
+//! let idle = system.measure_idle_power();
+//! // Table V: idle power at 500.05 MHz is ~2015 mW.
+//! assert!((idle.mean.as_mw() - 2015.3).abs() < 30.0);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use piton_arch as arch;
+pub use piton_board as board;
+pub use piton_core as characterization;
+pub use piton_power as power;
+pub use piton_sim as sim;
+pub use piton_workloads as workloads;

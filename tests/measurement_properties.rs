@@ -1,0 +1,119 @@
+//! Property tests of the measurement methodology and the power/thermal
+//! models.
+
+use proptest::prelude::*;
+
+use piton::arch::isa::Opcode;
+use piton::arch::units::{Hertz, Seconds, Volts, Watts};
+use piton::characterization::measure::{energy_per_op_nj, epi_pj, linear_fit};
+use piton::power::model::{OperatingPoint, PowerModel};
+use piton::power::thermal::{Cooling, ThermalModel};
+use piton::sim::events::ActivityCounters;
+
+proptest! {
+    /// The EPI formula inverts: injecting ΔP computed from a chosen EPI
+    /// recovers that EPI exactly.
+    #[test]
+    fn epi_formula_round_trips(epi_target in 1.0f64..2000.0, latency in 1u64..100) {
+        let f = Hertz::from_mhz(500.05);
+        let idle = Watts(2.0153);
+        let dp = epi_target * 1e-12 * 25.0 * f.0 / latency as f64;
+        let measured = epi_pj(idle + Watts(dp), idle, f, latency);
+        prop_assert!((measured - epi_target).abs() / epi_target < 1e-9);
+    }
+
+    /// Energy-per-op is linear in power delta and inversely linear in
+    /// completed operations.
+    #[test]
+    fn energy_per_op_scales(dp in 0.01f64..2.0, ops in 1u64..1_000_000) {
+        let e1 = energy_per_op_nj(Watts(2.0 + dp), Watts(2.0), Seconds(1.0), ops);
+        let e2 = energy_per_op_nj(Watts(2.0 + 2.0 * dp), Watts(2.0), Seconds(1.0), ops);
+        let e3 = energy_per_op_nj(Watts(2.0 + dp), Watts(2.0), Seconds(1.0), ops * 2);
+        prop_assert!((e2 - 2.0 * e1).abs() < 1e-9 * e1.abs().max(1.0));
+        prop_assert!((e3 - e1 / 2.0).abs() < 1e-9 * e1.abs().max(1.0));
+    }
+
+    /// Linear fit recovers arbitrary lines through noiseless points.
+    #[test]
+    fn linear_fit_is_exact_on_lines(a in -100.0f64..100.0, b in -50.0f64..50.0) {
+        let pts: Vec<(f64, f64)> = (0..10).map(|x| (f64::from(x), a + b * f64::from(x))).collect();
+        let (fa, fb) = linear_fit(&pts);
+        prop_assert!((fa - a).abs() < 1e-6);
+        prop_assert!((fb - b).abs() < 1e-6);
+    }
+
+    /// Chip power is monotone in frequency, voltage, temperature and
+    /// activity.
+    #[test]
+    fn power_model_is_monotone(
+        mhz in 100.0f64..700.0,
+        vdd_mv in 800u32..1200,
+        t_c in 20.0f64..90.0,
+        adds in 0u64..10_000_000,
+    ) {
+        let model = PowerModel::nominal();
+        let mut act = ActivityCounters::default();
+        act.cycles = 1_000_000;
+        act.issues[Opcode::Add.index()] = adds;
+        act.operand_activity[Opcode::Add.index()] = adds as f64 * 0.5;
+
+        let op = OperatingPoint::table_iii()
+            .with_freq(Hertz::from_mhz(mhz))
+            .with_vdd_tracked(Volts(f64::from(vdd_mv) / 1000.0))
+            .with_junction(t_c);
+        let p = model.power(&act, op).total();
+
+        // More activity never reduces power.
+        let mut more = act.clone();
+        more.issues[Opcode::Add.index()] += 1_000;
+        more.operand_activity[Opcode::Add.index()] += 500.0;
+        prop_assert!(model.power(&more, op).total().0 >= p.0);
+
+        // Hotter junction never reduces power (leakage growth).
+        let hotter = op.with_junction(t_c + 10.0);
+        prop_assert!(model.power(&act, hotter).total().0 >= p.0);
+
+        // Higher frequency never reduces power (same activity window).
+        let faster = op.with_freq(Hertz::from_mhz(mhz + 50.0));
+        prop_assert!(model.power(&act, faster).total().0 >= p.0);
+    }
+
+    /// The thermal transient never overshoots the steady state from
+    /// below and always converges toward it.
+    #[test]
+    fn thermal_transient_converges(p_mw in 100.0f64..3_000.0, eff in 0.0f64..1.0) {
+        let p = Watts(p_mw / 1e3);
+        let mut t = ThermalModel::new(Cooling::BarePackageFan { effectiveness: eff }, 20.0);
+        let (j_ss, s_ss) = t.steady_state(p);
+        let mut prev_gap = f64::MAX;
+        for _ in 0..300 {
+            t.step(p, Seconds(5.0));
+            let gap = (t.junction_c() - j_ss).abs();
+            prop_assert!(gap <= prev_gap + 1e-6, "diverging transient");
+            prev_gap = gap;
+            prop_assert!(t.junction_c() <= j_ss + 0.5);
+            prop_assert!(t.surface_c() <= s_ss + 0.5);
+        }
+        prop_assert!((t.junction_c() - j_ss).abs() < 1.0);
+    }
+
+    /// Static power split preserves the rail sum under voltage scaling
+    /// direction: raising either rail's voltage raises that rail's
+    /// leakage only.
+    #[test]
+    fn static_power_is_voltage_monotone(vdd_mv in 800u32..1200) {
+        let model = PowerModel::nominal();
+        let vdd = Volts(f64::from(vdd_mv) / 1000.0);
+        let base = OperatingPoint::table_iii();
+        let swept = base.with_vdd_tracked(vdd);
+        let p_base = model.static_power(base);
+        let p_swept = model.static_power(swept);
+        if vdd.0 > 1.0 {
+            prop_assert!(p_swept.vdd.0 >= p_base.vdd.0);
+            prop_assert!(p_swept.vcs.0 >= p_base.vcs.0);
+        } else {
+            prop_assert!(p_swept.vdd.0 <= p_base.vdd.0);
+            prop_assert!(p_swept.vcs.0 <= p_base.vcs.0);
+        }
+    }
+}

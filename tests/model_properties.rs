@@ -1,0 +1,92 @@
+//! Property tests of the cache, memory and monitor building blocks.
+
+use proptest::prelude::*;
+
+use piton::arch::config::CacheConfig;
+use piton::arch::units::Watts;
+use piton::board::monitor::{MeasurementWindow, MonitorChannel};
+use piton::sim::cache::{LineState, SetAssocCache};
+use piton::sim::mem::Memory;
+
+proptest! {
+    /// LRU invariant: after any insertion sequence, the most recently
+    /// inserted `associativity` distinct lines of a set are resident.
+    #[test]
+    fn lru_keeps_the_most_recent_ways(lines in proptest::collection::vec(0u64..32, 1..64)) {
+        // Single-set cache: 4 ways of 16 B.
+        let mut c = SetAssocCache::new(CacheConfig::new(64, 4, 16));
+        for (t, &line) in lines.iter().enumerate() {
+            // All addresses map to set 0 (only one set exists).
+            c.insert(line * 16, LineState::Shared, t as u64);
+        }
+        // Most recent distinct lines (up to 4) must be present.
+        let mut seen = Vec::new();
+        for &line in lines.iter().rev() {
+            if !seen.contains(&line) {
+                seen.push(line);
+            }
+            if seen.len() == 4 {
+                break;
+            }
+        }
+        for &line in &seen {
+            prop_assert_eq!(
+                c.peek(line * 16),
+                Some(LineState::Shared),
+                "recent line {} evicted",
+                line
+            );
+        }
+        prop_assert!(c.valid_lines() <= 4);
+    }
+
+    /// Functional memory: the last write to each word wins, CAS included.
+    #[test]
+    fn memory_last_write_wins(ops in proptest::collection::vec((0u64..64, any::<u64>(), any::<bool>()), 1..200)) {
+        let mut m = Memory::new();
+        let mut model = std::collections::HashMap::new();
+        for (slot, value, use_cas) in ops {
+            let addr = 0x100 + slot * 8;
+            if use_cas {
+                let current = model.get(&addr).copied().unwrap_or(0);
+                let old = m.compare_and_swap(addr, current, value);
+                prop_assert_eq!(old, current);
+                model.insert(addr, value);
+            } else {
+                m.write(addr, value);
+                model.insert(addr, value);
+            }
+        }
+        for (addr, value) in model {
+            prop_assert_eq!(m.read(addr), value);
+        }
+    }
+
+    /// Monitor sampling is unbiased within its noise floor for any
+    /// power level and seed.
+    #[test]
+    fn monitor_is_unbiased(power_mw in 10.0f64..6_000.0, seed in 0u64..1_000) {
+        let truth = Watts(power_mw / 1e3);
+        let mut chan = MonitorChannel::piton_board(seed);
+        let w: MeasurementWindow = (0..512).map(|_| chan.sample(truth)).collect();
+        let bias = (w.mean().0 - truth.0).abs();
+        // 512 samples: standard error ≈ σ/√512; allow 6 standard errors.
+        let sigma = 1.5e-3 + 5.0e-4 * truth.0 + 0.5e-3; // + LSB slack
+        prop_assert!(bias < 6.0 * sigma / (512f64).sqrt() + 0.3e-3, "bias {bias}");
+        prop_assert!(w.stddev().0 > 0.0);
+    }
+
+    /// Measurement windows aggregate linearly: splitting the samples
+    /// into two windows and pooling the means equals the single-window
+    /// mean.
+    #[test]
+    fn window_means_pool(samples in proptest::collection::vec(0.5f64..4.0, 2..64)) {
+        prop_assume!(samples.len() % 2 == 0);
+        let all: MeasurementWindow = samples.iter().map(|&w| Watts(w)).collect();
+        let half = samples.len() / 2;
+        let a: MeasurementWindow = samples[..half].iter().map(|&w| Watts(w)).collect();
+        let b: MeasurementWindow = samples[half..].iter().map(|&w| Watts(w)).collect();
+        let pooled = (a.mean().0 + b.mean().0) / 2.0;
+        prop_assert!((pooled - all.mean().0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests of the mesh topology and NoC accounting.
+
+use proptest::prelude::*;
+
+use piton::arch::topology::{Mesh, TileId, TilePitch};
+use piton::sim::events::ActivityCounters;
+use piton::sim::noc::{coupling_transitions, hamming, NocFabric, NocId};
+
+proptest! {
+    /// Dimension-ordered next_hop always reaches the destination in
+    /// exactly the Manhattan distance, and the route's turn flag matches
+    /// the geometry.
+    #[test]
+    fn routes_deliver_in_manhattan_hops(a in 0usize..25, b in 0usize..25) {
+        let mesh = Mesh::piton();
+        let (from, to) = (TileId::new(a), TileId::new(b));
+        let route = mesh.route(from, to);
+        prop_assert_eq!(route.hops, mesh.coord(from).manhattan(mesh.coord(to)));
+
+        let mut at = from;
+        let mut steps = 0;
+        let mut turned = false;
+        let mut moved_y = false;
+        while let Some(next) = mesh.next_hop(at, to) {
+            let (ca, cn) = (mesh.coord(at), mesh.coord(next));
+            prop_assert_eq!(ca.manhattan(cn), 1, "non-adjacent hop");
+            if cn.y != ca.y {
+                moved_y = true;
+            } else {
+                prop_assert!(!moved_y, "X move after Y move breaks dimension order");
+            }
+            if moved_y && cn.x != ca.x {
+                turned = true;
+            }
+            at = next;
+            steps += 1;
+            prop_assert!(steps <= 8, "route too long");
+        }
+        let _ = turned;
+        prop_assert_eq!(at, to);
+        prop_assert_eq!(steps, route.hops);
+        prop_assert_eq!(route.latency_cycles(), (route.hops + usize::from(route.turns)) as u64);
+    }
+
+    /// Wire length is non-negative, symmetric in endpoints, and bounded
+    /// by the chip diagonal.
+    #[test]
+    fn wire_lengths_are_sane(a in 0usize..25, b in 0usize..25) {
+        let mesh = Mesh::piton();
+        let fwd = mesh.route(TileId::new(a), TileId::new(b)).wire_length_mm(TilePitch::PITON);
+        let rev = mesh.route(TileId::new(b), TileId::new(a)).wire_length_mm(TilePitch::PITON);
+        prop_assert!((fwd - rev).abs() < 1e-12);
+        prop_assert!(fwd >= 0.0);
+        prop_assert!(fwd <= 4.0 * 1.144_52 + 4.0 * 1.053 + 1e-9);
+    }
+
+    /// Hamming switching is bounded by 64 bits and symmetric; coupling
+    /// transitions never exceed 63 and vanish without switching.
+    #[test]
+    fn switching_bounds(prev in any::<u64>(), cur in any::<u64>()) {
+        let h = hamming(prev, cur);
+        prop_assert!(h <= 64);
+        prop_assert_eq!(h, hamming(cur, prev));
+        let c = coupling_transitions(prev, cur);
+        prop_assert!(c <= 63);
+        if h == 0 {
+            prop_assert_eq!(c, 0);
+        }
+        // Coupling needs at least two toggles in opposite directions.
+        if h < 2 {
+            prop_assert_eq!(c, 0);
+        }
+    }
+
+    /// Per-packet link accounting: flit-hops is exactly
+    /// flits × hops (or flits for local delivery), and total switching
+    /// is bounded by 64 bits per flit-hop.
+    #[test]
+    fn noc_accounting_is_exact(
+        src in 0usize..25,
+        dst in 0usize..25,
+        flits in proptest::collection::vec(any::<u64>(), 1..8)
+    ) {
+        let mesh = Mesh::piton();
+        let mut noc = NocFabric::new(mesh.clone());
+        let mut act = ActivityCounters::default();
+        let route = mesh.route(TileId::new(src), TileId::new(dst));
+        noc.send(NocId::Noc1, TileId::new(src), TileId::new(dst), &flits, &mut act);
+        let expected_hops = if route.hops == 0 {
+            flits.len() as u64
+        } else {
+            (flits.len() * route.hops) as u64
+        };
+        prop_assert_eq!(act.noc_flit_hops, expected_hops);
+        prop_assert!(act.noc_bit_switches <= 64 * act.noc_flit_hops);
+        prop_assert_eq!(act.noc_packets, 1);
+    }
+
+    /// Sending the same flit twice in a row switches nothing the second
+    /// time (wire state is remembered per link).
+    #[test]
+    fn repeated_flits_do_not_switch(src in 0usize..25, dst in 0usize..25, flit in any::<u64>()) {
+        prop_assume!(src != dst);
+        let mut noc = NocFabric::new(Mesh::piton());
+        let mut act = ActivityCounters::default();
+        noc.send(NocId::Noc2, TileId::new(src), TileId::new(dst), &[flit], &mut act);
+        let after_first = act.noc_bit_switches;
+        noc.send(NocId::Noc2, TileId::new(src), TileId::new(dst), &[flit], &mut act);
+        prop_assert_eq!(act.noc_bit_switches, after_first);
+    }
+}

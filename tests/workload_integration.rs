@@ -1,0 +1,141 @@
+//! End-to-end workload runs spanning assembler, simulator and machine.
+
+use piton::arch::config::ChipConfig;
+use piton::arch::isa::Opcode;
+use piton::arch::topology::TileId;
+use piton::sim::machine::Machine;
+use piton::workloads::micro::{
+    hist_layout, hist_program, load_microbenchmark, Microbenchmark, RunLength, ThreadsPerCore,
+};
+use piton::workloads::spec::{spec_kernel, table_ix_benchmarks};
+
+fn machine() -> Machine {
+    Machine::new(&ChipConfig::piton())
+}
+
+#[test]
+fn hist_is_correct_at_many_thread_counts() {
+    for &threads in &[1usize, 3, 8, 25, 50] {
+        let mut m = machine();
+        for t in 0..threads {
+            let (core, slot) = (t % 25, t / 25);
+            m.load_thread(
+                TileId::new(core),
+                slot,
+                hist_program(t, threads, RunLength::Iterations(1)),
+            );
+        }
+        assert!(
+            m.run_until_halted(120_000_000),
+            "{threads} threads did not finish"
+        );
+        let total: u64 = (0..hist_layout::BUCKETS)
+            .map(|b| m.memsys().peek_mem(hist_layout::bucket_addr(b)))
+            .sum();
+        // Each thread processes floor(N/threads) elements; the division
+        // remainder is dropped, like the paper's fixed per-thread slices.
+        let per_thread = (hist_layout::INPUT_ELEMENTS as usize / threads).max(1) as u64;
+        assert_eq!(
+            total,
+            per_thread * threads as u64,
+            "{threads} threads lost updates"
+        );
+    }
+}
+
+#[test]
+fn all_fifty_threads_run_hp_and_issue_continuously() {
+    let mut m = machine();
+    load_microbenchmark(
+        &mut m,
+        Microbenchmark::Hp,
+        50,
+        ThreadsPerCore::Two,
+        RunLength::Forever,
+    );
+    m.run(60_000);
+    let act = m.counters();
+    // Every core dual-threaded and issuing nearly every cycle.
+    let issue_rate = act.total_issues() as f64 / (25.0 * act.cycles as f64);
+    assert!(issue_rate > 0.7, "issue rate {issue_rate}");
+    assert!(act.dual_thread_cycles > act.cycles / 2);
+    // HP touches the memory system (the mixed threads).
+    assert!(act.l1d_reads > 0 && act.sb_enqueues > 0);
+}
+
+#[test]
+fn spec_kernels_execute_their_declared_mixes() {
+    for bench in table_ix_benchmarks() {
+        let mut m = machine();
+        m.load_thread(TileId::new(0), 0, spec_kernel(&bench.profile));
+        m.run(400_000);
+        let act = m.counters();
+        let total = act.total_issues() as f64;
+        let loads = act.issues[Opcode::Ldx.index()] as f64;
+        let declared_loads = (bench.profile.l1_load_pct
+            + bench.profile.l2_load_pct
+            + bench.profile.mem_load_pct)
+            / 100.0;
+        let measured = loads / total;
+        assert!(
+            (measured - declared_loads).abs() < 0.12,
+            "{}: load share {measured:.3} vs declared {declared_loads:.3}",
+            bench.name
+        );
+        // Stores present when declared.
+        if bench.profile.store_pct > 1.0 {
+            assert!(act.issues[Opcode::Stx.index()] > 0, "{}", bench.name);
+        }
+    }
+}
+
+#[test]
+fn spec_kernel_programs_fit_the_l1i() {
+    let cfg = ChipConfig::piton();
+    for bench in table_ix_benchmarks() {
+        let p = spec_kernel(&bench.profile);
+        assert!(
+            p.fits_in(cfg.l1i.size_bytes),
+            "{}: {} bytes",
+            bench.name,
+            p.code_bytes()
+        );
+    }
+}
+
+#[test]
+fn determinism_same_workload_same_counters() {
+    let run = || {
+        let mut m = machine();
+        load_microbenchmark(
+            &mut m,
+            Microbenchmark::Hist,
+            16,
+            ThreadsPerCore::Two,
+            RunLength::Forever,
+        );
+        m.run(80_000);
+        m.counters().clone()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "simulation must be deterministic");
+}
+
+#[test]
+fn epi_tests_cover_every_figure_11_case() {
+    use piton::workloads::epi::{epi_test, EpiCase};
+    for case in EpiCase::figure_11() {
+        for pattern in piton::arch::isa::OperandPattern::ALL {
+            let mut m = machine();
+            m.load_thread(TileId::new(0), 0, epi_test(case, pattern, 0));
+            m.run(20_000);
+            assert!(
+                m.counters().total_issues() > 100,
+                "{} {:?} barely ran",
+                case.label(),
+                pattern
+            );
+        }
+    }
+}
