@@ -256,7 +256,9 @@ mod tests {
         let tile = AreaBreakdown::piton(Level::Tile);
         let pct = tile.noc_router_percent().unwrap();
         assert!((pct - 2.88).abs() < 0.01);
-        assert!(AreaBreakdown::piton(Level::Core).noc_router_percent().is_none());
+        assert!(AreaBreakdown::piton(Level::Core)
+            .noc_router_percent()
+            .is_none());
     }
 
     #[test]

@@ -178,7 +178,11 @@ impl Opcode {
     pub fn class(self) -> InstrClass {
         match self {
             Opcode::Nop | Opcode::Membar | Opcode::Halt => InstrClass::Misc,
-            Opcode::And | Opcode::Add | Opcode::Sub | Opcode::Mulx | Opcode::Sdivx
+            Opcode::And
+            | Opcode::Add
+            | Opcode::Sub
+            | Opcode::Mulx
+            | Opcode::Sdivx
             | Opcode::Movi => InstrClass::Integer,
             Opcode::Faddd | Opcode::Fmuld | Opcode::Fdivd => InstrClass::FpDouble,
             Opcode::Fadds | Opcode::Fmuls | Opcode::Fdivs => InstrClass::FpSingle,
@@ -236,10 +240,7 @@ impl Opcode {
     /// Whether this opcode uses the floating-point unit.
     #[must_use]
     pub fn is_fp(self) -> bool {
-        matches!(
-            self.class(),
-            InstrClass::FpDouble | InstrClass::FpSingle
-        )
+        matches!(self.class(), InstrClass::FpDouble | InstrClass::FpSingle)
     }
 
     /// The mnemonic as printed in the paper's figures.
@@ -420,7 +421,11 @@ impl fmt::Display for Instruction {
             Opcode::Stx => write!(f, "stx {}, [{} + {:#x}]", self.rs2, self.rs1, self.imm),
             Opcode::Casx => write!(f, "casx [{}], {}, {}", self.rs1, self.rs2, self.rd),
             Opcode::Beq | Opcode::Bne => {
-                write!(f, "{} {}, {}, @{}", self.opcode, self.rs1, self.rs2, self.imm)
+                write!(
+                    f,
+                    "{} {}, {}, @{}",
+                    self.opcode, self.rs1, self.rs2, self.imm
+                )
             }
             _ => write!(f, "{} {}, {}, {}", self.opcode, self.rd, self.rs1, self.rs2),
         }

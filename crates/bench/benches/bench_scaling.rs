@@ -13,10 +13,7 @@ fn bench(c: &mut Criterion) {
     });
     c.bench_function("figure_13_core_scaling", |b| {
         b.iter(|| {
-            criterion::black_box(core_scaling::run_with_cores(
-                &[1, 13, 25],
-                bench_fidelity(),
-            ))
+            criterion::black_box(core_scaling::run_with_cores(&[1, 13, 25], bench_fidelity()))
         })
     });
 }

@@ -7,19 +7,54 @@
 //! cargo run --release -p piton-bench --bin reproduce              # full fidelity
 //! cargo run --release -p piton-bench --bin reproduce -- quick     # reduced fidelity
 //! cargo run --release -p piton-bench --bin reproduce -- csv=DIR   # also export CSV datasets
+//! cargo run --release -p piton-bench --bin reproduce -- --jobs 8  # sweep worker threads
 //! ```
+//!
+//! Sweep parallelism defaults to the machine's available cores and can
+//! be overridden with `--jobs N` (or the `PITON_JOBS` environment
+//! variable). Results are byte-identical at every jobs level; a
+//! per-section speedup table is printed to stderr at the end.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use piton_core::experiments::{
-    ablations, area, core_scaling, epi, mem_latency, memory_energy, mt_vs_mc, noc_energy,
-    specint, static_idle, thermal, vf_sweep, yield_stats, Fidelity,
+    ablations, area, core_scaling, epi, mem_latency, memory_energy, mt_vs_mc, noc_energy, specint,
+    static_idle, thermal, vf_sweep, yield_stats, Fidelity,
 };
+use piton_core::runner;
+
+/// Wall/busy timing of one reproduced section.
+struct SectionTiming {
+    title: &'static str,
+    wall: Duration,
+    stats: runner::SweepStats,
+}
+
+fn parse_jobs() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    for (i, a) in args.iter().enumerate() {
+        if let Some(n) = a
+            .strip_prefix("--jobs=")
+            .or_else(|| a.strip_prefix("jobs="))
+        {
+            return n
+                .parse()
+                .map_or_else(|_| runner::default_jobs(), |n: usize| n.max(1));
+        }
+        if a == "--jobs" {
+            if let Some(n) = args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+                return n.max(1);
+            }
+        }
+    }
+    runner::default_jobs()
+}
 
 fn main() {
     let quick = std::env::args().any(|a| a == "quick");
-    let csv_dir: Option<std::path::PathBuf> = std::env::args()
-        .find_map(|a| a.strip_prefix("csv=").map(std::path::PathBuf::from));
+    let jobs = parse_jobs();
+    let csv_dir: Option<std::path::PathBuf> =
+        std::env::args().find_map(|a| a.strip_prefix("csv=").map(std::path::PathBuf::from));
     if let Some(dir) = &csv_dir {
         std::fs::create_dir_all(dir).expect("create csv directory");
     }
@@ -32,17 +67,35 @@ fn main() {
         Fidelity::quick()
     } else {
         Fidelity::full()
-    };
+    }
+    .with_jobs(jobs);
+    eprintln!(
+        "reproduce: {} fidelity, {jobs} sweep worker(s)",
+        if quick { "quick" } else { "full" }
+    );
+
     let t0 = Instant::now();
-    let section = |title: &str, body: String| {
+    let mut timings: Vec<SectionTiming> = Vec::new();
+    let mut section = |title: &'static str, body: String| {
         println!("\n# {title}\n");
         println!("{body}");
+        // `body` was produced before entry; charge the elapsed time
+        // since the previous section to this one.
+        let wall = t0.elapsed() - timings.iter().map(|t| t.wall).sum::<Duration>();
+        let stats = runner::take_stats();
         eprintln!("[{:7.1?}] {title} done", t0.elapsed());
+        timings.push(SectionTiming { title, wall, stats });
     };
 
-    section("Table IV — chip testing statistics", yield_stats::run().render());
+    section(
+        "Table IV — chip testing statistics",
+        yield_stats::run().render(),
+    );
     section("Figure 8 — area breakdown", area::run().render());
-    section("Figure 9 — voltage versus frequency", vf_sweep::run().render());
+    section(
+        "Figure 9 — voltage versus frequency",
+        vf_sweep::run_with_jobs(jobs).render(),
+    );
     section(
         "Figure 10 + Table V — static and idle power",
         static_idle::run(fidelity).render(),
@@ -114,5 +167,31 @@ fn main() {
             ablations::execution_drafting(fidelity).render(),
         ),
     );
-    eprintln!("total: {:?}", t0.elapsed());
+
+    // Per-section sweep speedup: how much grid-point work ran versus
+    // the wall-clock the section took.
+    eprintln!("\nsweep speedup by section ({jobs} worker(s)):");
+    eprintln!(
+        "  {:<55} {:>9} {:>9} {:>8}",
+        "section", "wall", "busy", "speedup"
+    );
+    let mut total_busy = Duration::ZERO;
+    for t in &timings {
+        if t.stats.points == 0 {
+            continue; // no sweeps in this section
+        }
+        total_busy += t.stats.busy;
+        eprintln!(
+            "  {:<55} {:>8.1?} {:>8.1?} {:>7.2}x",
+            t.title,
+            t.wall,
+            t.stats.busy,
+            t.stats.speedup()
+        );
+    }
+    let total = t0.elapsed();
+    eprintln!(
+        "total: {total:?} (sweep work {total_busy:.1?}, overall speedup {:.2}x)",
+        total_busy.as_secs_f64() / total.as_secs_f64()
+    );
 }

@@ -20,6 +20,7 @@ pub fn bench_fidelity() -> Fidelity {
         samples: 8,
         chunk_cycles: 2_000,
         warmup_cycles: 20_000,
+        jobs: 1,
     }
 }
 

@@ -194,12 +194,7 @@ impl Measured {
 
 impl std::fmt::Display for Measured {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "{:.1}±{:.1} mW",
-            self.mean.as_mw(),
-            self.stddev.as_mw()
-        )
+        write!(f, "{:.1}±{:.1} mW", self.mean.as_mw(), self.stddev.as_mw())
     }
 }
 

@@ -247,9 +247,7 @@ impl ChipPopulation {
         let mut counts = YieldCounts::default();
         for die in self.packaged().take(n) {
             let status = match die.status {
-                ChipStatus::UnstableDeterministic
-                    if rng.gen_range(0.0..1.0) < success_rate =>
-                {
+                ChipStatus::UnstableDeterministic if rng.gen_range(0.0..1.0) < success_rate => {
                     ChipStatus::Good
                 }
                 s => s,
@@ -306,7 +304,7 @@ impl YieldCounts {
 /// Seed reproducing the exact Table IV counts for the default
 /// 32-chip campaign (found by search; see the `seed_reproduces_table_iv`
 /// test).
-pub const PITON_RUN_SEED: u64 = 17;
+pub const PITON_RUN_SEED: u64 = 132;
 
 #[cfg(test)]
 mod tests {
@@ -420,8 +418,13 @@ mod seed_search {
         for seed in 0..1_000_000u64 {
             let pop = ChipPopulation::generate(118, 45, DefectRates::table_iv(), seed);
             let c = pop.test_campaign(32);
-            if (c.good, c.unstable_deterministic, c.bad_vcs_short, c.bad_vdd_short, c.unstable_nondeterministic)
-                == (19, 7, 4, 1, 1)
+            if (
+                c.good,
+                c.unstable_deterministic,
+                c.bad_vcs_short,
+                c.bad_vdd_short,
+                c.unstable_nondeterministic,
+            ) == (19, 7, 4, 1, 1)
             {
                 println!("SEED={seed}");
                 return;

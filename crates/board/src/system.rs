@@ -213,7 +213,12 @@ impl PitonSystem {
         // junction temperature, which depends on power.
         let op0 = self.operating_point();
         let (t_eq, _) = self.thermal.equilibrium(
-            |t| self.model.power(&delta, op0.with_junction(t)).total_with_io() * 0.9,
+            |t| {
+                self.model
+                    .power(&delta, op0.with_junction(t))
+                    .total_with_io()
+                    * 0.9
+            },
             120.0,
         );
         self.thermal.settle_to_junction(t_eq);
@@ -288,7 +293,9 @@ impl PitonSystem {
         let mut power_time = Joules(0.0);
         while self.machine.any_running() && self.machine.now() - start_cycle < max_cycles {
             let before = self.machine.counters().clone();
-            let chunk = self.chunk_cycles.min(max_cycles - (self.machine.now() - start_cycle));
+            let chunk = self
+                .chunk_cycles
+                .min(max_cycles - (self.machine.now() - start_cycle));
             self.machine.run(chunk);
             let delta = self.machine.counters().delta_since(&before);
             if delta.cycles == 0 {
@@ -357,7 +364,11 @@ mod tests {
         let i3 = s3.measure_idle_power();
         assert!(i3.mean < i2.mean);
         // Chip #3 idle ≈ 1906 mW.
-        assert!((i3.mean.as_mw() - 1906.2).abs() < 40.0, "{}", i3.mean.as_mw());
+        assert!(
+            (i3.mean.as_mw() - 1906.2).abs() < 40.0,
+            "{}",
+            i3.mean.as_mw()
+        );
     }
 
     #[test]

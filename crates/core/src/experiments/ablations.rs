@@ -31,6 +31,7 @@ use serde::{Deserialize, Serialize};
 
 use super::Fidelity;
 use crate::report::Table;
+use crate::runner;
 
 /// Result of the slice-mapping ablation: how many distinct home slices
 /// the Table VII "local L2" address set touches under each mapping.
@@ -68,9 +69,7 @@ impl SliceMappingAblation {
     /// Renders the ablation.
     #[must_use]
     pub fn render(&self) -> String {
-        let mut t = Table::new(
-            "Ablation: line-to-L2-slice mapping vs the Table VII address set",
-        );
+        let mut t = Table::new("Ablation: line-to-L2-slice mapping vs the Table VII address set");
         t.header(["Mapping", "Distinct home slices", "Local study possible"]);
         for (m, n, ok) in &self.rows {
             t.row([m.clone(), n.to_string(), ok.to_string()]);
@@ -96,32 +95,29 @@ pub fn store_buffer_depth(fidelity: Fidelity) -> Vec<StoreBufferPoint> {
     use piton_arch::isa::OperandPattern;
     use piton_workloads::epi::{epi_test, EpiCase, StoreVariant};
 
-    [1u32, 2, 4, 8, 16]
-        .into_iter()
-        .map(|entries| {
-            let mut cfg = ChipConfig::piton();
-            cfg.store_buffer_entries = entries;
-            let mut m = piton_sim::machine::Machine::new(&cfg);
-            m.load_thread(
-                TileId::new(0),
+    runner::sweep(fidelity.jobs, vec![1u32, 2, 4, 8, 16], |_, entries| {
+        let mut cfg = ChipConfig::piton();
+        cfg.store_buffer_entries = entries;
+        let mut m = piton_sim::machine::Machine::new(&cfg);
+        m.load_thread(
+            TileId::new(0),
+            0,
+            epi_test(
+                EpiCase::Store(StoreVariant::Full),
+                OperandPattern::Random,
                 0,
-                epi_test(
-                    EpiCase::Store(StoreVariant::Full),
-                    OperandPattern::Random,
-                    0,
-                ),
-            );
-            m.run(fidelity.warmup_cycles);
-            let before = m.counters().clone();
-            m.run(fidelity.chunk_cycles * fidelity.samples as u64);
-            let d = m.counters().delta_since(&before);
-            StoreBufferPoint {
-                entries,
-                rollbacks_per_store: d.store_rollbacks as f64 / d.sb_enqueues.max(1) as f64,
-                stores_per_kcycle: 1e3 * d.sb_enqueues as f64 / d.cycles as f64,
-            }
-        })
-        .collect()
+            ),
+        );
+        m.run(fidelity.warmup_cycles);
+        let before = m.counters().clone();
+        m.run(fidelity.chunk_cycles * fidelity.samples as u64);
+        let d = m.counters().delta_since(&before);
+        StoreBufferPoint {
+            entries,
+            rollbacks_per_store: d.store_rollbacks as f64 / d.sb_enqueues.max(1) as f64,
+            stores_per_kcycle: 1e3 * d.sb_enqueues as f64 / d.cycles as f64,
+        }
+    })
 }
 
 /// Renders the store-buffer ablation.
@@ -154,9 +150,7 @@ pub struct OverheadPoint {
 pub fn dual_thread_overhead(fidelity: Fidelity) -> Vec<OverheadPoint> {
     use piton_arch::units::Watts;
     use piton_power::{Calibration, PowerModel, TechModel};
-    use piton_workloads::micro::{
-        load_microbenchmark, Microbenchmark, RunLength, ThreadsPerCore,
-    };
+    use piton_workloads::micro::{load_microbenchmark, Microbenchmark, RunLength, ThreadsPerCore};
 
     // Measure activity and timing once per configuration; re-price the
     // same activity under different overhead coefficients.
@@ -179,8 +173,13 @@ pub fn dual_thread_overhead(fidelity: Fidelity) -> Vec<OverheadPoint> {
         assert!(timed.run_until_halted(10_000_000));
         (act, timed.now())
     };
-    let (act_mc, t_mc) = capture(ThreadsPerCore::One);
-    let (act_mt, t_mt) = capture(ThreadsPerCore::Two);
+    let mut captures = runner::sweep(
+        fidelity.jobs,
+        vec![ThreadsPerCore::One, ThreadsPerCore::Two],
+        |_, tpc| capture(tpc),
+    );
+    let (act_mt, t_mt) = captures.pop().expect("two configurations");
+    let (act_mc, t_mc) = captures.pop().expect("two configurations");
 
     [0.0f64, 20.0, 40.0, 60.0, 90.0, 120.0]
         .into_iter()
@@ -190,8 +189,10 @@ pub fn dual_thread_overhead(fidelity: Fidelity) -> Vec<OverheadPoint> {
             let model = PowerModel::new(calib, TechModel::ibm32soi(), Default::default());
             let op = piton_power::OperatingPoint::table_iii();
             let idle = {
-                let mut a = ActivityCounters::default();
-                a.cycles = 100_000;
+                let a = ActivityCounters {
+                    cycles: 100_000,
+                    ..Default::default()
+                };
                 model.power(&a, op).total()
             };
             let energy = |act: &ActivityCounters, cycles: u64, cores: f64| {
@@ -212,9 +213,8 @@ pub fn dual_thread_overhead(fidelity: Fidelity) -> Vec<OverheadPoint> {
 /// Renders the overhead sweep.
 #[must_use]
 pub fn render_overhead(points: &[OverheadPoint]) -> String {
-    let mut t = Table::new(
-        "Ablation: thread-switch overhead vs Int MT/MC energy ratio (16 threads)",
-    );
+    let mut t =
+        Table::new("Ablation: thread-switch overhead vs Int MT/MC energy ratio (16 threads)");
     t.header(["Overhead (pJ/dual-issue)", "MT/MC energy ratio"]);
     for p in points {
         t.row([
@@ -242,29 +242,26 @@ pub struct NocSplitRow {
 #[must_use]
 pub fn noc_energy_split(fidelity: Fidelity) -> Vec<NocSplitRow> {
     let calib = piton_power::Calibration::piton_hpca18();
-    SwitchPattern::ALL
-        .into_iter()
-        .map(|pattern| {
-            let mut m = piton_sim::machine::Machine::new(&ChipConfig::piton());
-            m.run_invalidation_traffic(
-                TileId::new(4),
-                pattern,
-                fidelity.chunk_cycles * fidelity.samples as u64,
-            );
-            let act = m.counters();
-            let hops = act.noc_flit_hops as f64;
-            let router =
-                calib.noc_flit_hop_pj + calib.noc_route_pj * act.noc_route_computes as f64 / hops;
-            let wire = (calib.noc_bit_switch_pj * act.noc_bit_switches as f64
-                + calib.noc_coupling_pj * act.noc_coupling_switches as f64)
-                / hops;
-            NocSplitRow {
-                pattern: pattern.label().to_owned(),
-                router_pj: router,
-                wire_pj: wire,
-            }
-        })
-        .collect()
+    runner::sweep(fidelity.jobs, SwitchPattern::ALL.to_vec(), |_, pattern| {
+        let mut m = piton_sim::machine::Machine::new(&ChipConfig::piton());
+        m.run_invalidation_traffic(
+            TileId::new(4),
+            pattern,
+            fidelity.chunk_cycles * fidelity.samples as u64,
+        );
+        let act = m.counters();
+        let hops = act.noc_flit_hops as f64;
+        let router =
+            calib.noc_flit_hop_pj + calib.noc_route_pj * act.noc_route_computes as f64 / hops;
+        let wire = (calib.noc_bit_switch_pj * act.noc_bit_switches as f64
+            + calib.noc_coupling_pj * act.noc_coupling_switches as f64)
+            / hops;
+        NocSplitRow {
+            pattern: pattern.label().to_owned(),
+            router_pj: router,
+            wire_pj: wire,
+        }
+    })
 }
 
 /// Renders the NoC split.
@@ -339,8 +336,9 @@ pub fn execution_drafting(fidelity: Fidelity) -> ExecDraftingResult {
         let d = sys.machine().counters().delta_since(&before);
         (p, d.drafted_issues as f64 / d.total_issues() as f64)
     };
-    let (drafted_w, draft_rate) = measure(0);
-    let (undrafted_w, _) = measure(1);
+    let mut runs = runner::sweep(fidelity.jobs, vec![0usize, 1], |_, offset| measure(offset));
+    let (undrafted_w, _) = runs.pop().expect("two configurations");
+    let (drafted_w, draft_rate) = runs.pop().expect("two configurations");
     ExecDraftingResult {
         drafted_w,
         undrafted_w,

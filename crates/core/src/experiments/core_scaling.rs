@@ -13,6 +13,7 @@ use serde::{Deserialize, Serialize};
 use super::Fidelity;
 use crate::measure::linear_fit;
 use crate::report::Table;
+use crate::runner;
 
 /// One (benchmark, T/C) power-versus-cores series.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -58,13 +59,7 @@ fn measure_point(
     let mut sys = PitonSystem::reference_chip_3();
     sys.set_chunk_cycles(fidelity.chunk_cycles);
     let threads = cores * tpc.count();
-    load_microbenchmark(
-        sys.machine_mut(),
-        bench,
-        threads,
-        tpc,
-        RunLength::Forever,
-    );
+    load_microbenchmark(sys.machine_mut(), bench, threads, tpc, RunLength::Forever);
     sys.warm_up(fidelity.warmup_cycles);
     sys.measure(fidelity.samples).total.mean.0
 }
@@ -77,24 +72,39 @@ pub fn run_with_cores(core_counts: &[usize], fidelity: Fidelity) -> CoreScalingR
     idle_sys.set_chunk_cycles(fidelity.chunk_cycles);
     let idle = idle_sys.measure_idle_power().mean;
 
-    let mut series = Vec::new();
-    for bench in Microbenchmark::ALL {
-        for tpc in [ThreadsPerCore::One, ThreadsPerCore::Two] {
+    // 3 benchmarks × 2 T/C × core counts, all independent systems.
+    let grid: Vec<(Microbenchmark, ThreadsPerCore, usize)> = Microbenchmark::ALL
+        .into_iter()
+        .flat_map(|bench| {
+            [ThreadsPerCore::One, ThreadsPerCore::Two]
+                .into_iter()
+                .flat_map(move |tpc| core_counts.iter().map(move |&c| (bench, tpc, c)))
+        })
+        .collect();
+    let watts = runner::sweep(fidelity.jobs, grid, |_, (bench, tpc, cores)| {
+        measure_point(bench, cores, tpc, fidelity)
+    });
+
+    let series = Microbenchmark::ALL
+        .into_iter()
+        .flat_map(|bench| [ThreadsPerCore::One, ThreadsPerCore::Two].map(|tpc| (bench, tpc)))
+        .zip(watts.chunks(core_counts.len()))
+        .map(|((bench, tpc), chunk)| {
             let points: Vec<(usize, f64)> = core_counts
                 .iter()
-                .map(|&c| (c, measure_point(bench, c, tpc, fidelity)))
+                .copied()
+                .zip(chunk.iter().copied())
                 .collect();
-            let fit: Vec<(f64, f64)> =
-                points.iter().map(|&(c, w)| (c as f64, w)).collect();
+            let fit: Vec<(f64, f64)> = points.iter().map(|&(c, w)| (c as f64, w)).collect();
             let (_, slope_w) = linear_fit(&fit);
-            series.push(ScalingSeries {
+            ScalingSeries {
                 bench,
                 tpc,
                 points,
                 mw_per_core: slope_w * 1e3,
-            });
-        }
-    }
+            }
+        })
+        .collect();
     CoreScalingResult { series, idle }
 }
 
@@ -224,8 +234,12 @@ mod tests {
     fn hist_tpc_configs_scale_similarly() {
         // Paper: 14.5 vs 14.4 mW/core — nearly identical.
         let r = result();
-        let one = r.series_for(Microbenchmark::Hist, ThreadsPerCore::One).mw_per_core;
-        let two = r.series_for(Microbenchmark::Hist, ThreadsPerCore::Two).mw_per_core;
+        let one = r
+            .series_for(Microbenchmark::Hist, ThreadsPerCore::One)
+            .mw_per_core;
+        let two = r
+            .series_for(Microbenchmark::Hist, ThreadsPerCore::Two)
+            .mw_per_core;
         assert!(
             two < 2.2 * one.max(1.0) && one < 2.2 * two.max(1.0),
             "Hist slopes diverge: {one} vs {two}"
@@ -235,7 +249,7 @@ mod tests {
     #[test]
     fn render_includes_all_six_series() {
         let s = result().render();
-        assert_eq!(s.matches("Int").count() >= 2, true);
+        assert!(s.matches("Int").count() >= 2);
         assert!(s.contains("Hist"));
         assert!(s.contains("mW/core"));
     }

@@ -15,6 +15,7 @@ use serde::{Deserialize, Serialize};
 use super::Fidelity;
 use crate::measure::{epi_with_error, WithError};
 use crate::report::Table;
+use crate::runner;
 
 /// EPI of one case under each operand pattern (pJ).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -67,7 +68,8 @@ fn measure_case(
     sys.set_chunk_cycles(fidelity.chunk_cycles);
     for t in 0..25 {
         let p = epi_test(case, pattern, t);
-        sys.machine_mut().load_thread(piton_arch::TileId::new(t), 0, p);
+        sys.machine_mut()
+            .load_thread(piton_arch::TileId::new(t), 0, p);
     }
     sys.warm_up(fidelity.warmup_cycles);
     let m = sys.measure(fidelity.samples);
@@ -109,28 +111,41 @@ pub fn run_cases(cases: &[EpiCase], fidelity: Fidelity) -> EpiResult {
         None,
     );
 
-    let mut rows = Vec::new();
-    for &case in cases {
-        let patterns: Vec<OperandPattern> = if case.has_value_operands() {
-            OperandPattern::ALL.to_vec()
-        } else {
-            vec![OperandPattern::Random]
-        };
-        let mut epi_pj = Vec::new();
-        for pattern in patterns {
-            let e = if case == EpiCase::Plain(Opcode::Nop) {
-                nop_epi
+    // Every remaining (case, pattern) point builds its own system, so
+    // the grid fans out across the sweep workers; regrouping by case
+    // afterwards keeps the row order identical at any jobs level.
+    let grid: Vec<(EpiCase, OperandPattern)> = cases
+        .iter()
+        .flat_map(|&case| {
+            let patterns: &[OperandPattern] = if case.has_value_operands() {
+                &OperandPattern::ALL
             } else {
-                measure_case(case, pattern, idle, fidelity, Some(nop_epi.value))
+                &[OperandPattern::Random]
             };
-            epi_pj.push((pattern, e));
+            patterns.iter().map(move |&p| (case, p))
+        })
+        .collect();
+    let measured = runner::sweep(fidelity.jobs, grid.clone(), |_, (case, pattern)| {
+        if case == EpiCase::Plain(Opcode::Nop) {
+            nop_epi
+        } else {
+            measure_case(case, pattern, idle, fidelity, Some(nop_epi.value))
         }
-        rows.push(EpiRow {
+    });
+
+    let rows = cases
+        .iter()
+        .map(|&case| EpiRow {
             label: case.label(),
             latency: case.opcode().base_latency(),
-            epi_pj,
-        });
-    }
+            epi_pj: grid
+                .iter()
+                .zip(&measured)
+                .filter(|((c, _), _)| *c == case)
+                .map(|(&(_, p), &e)| (p, e))
+                .collect(),
+        })
+        .collect();
     EpiResult {
         rows,
         idle_mw: idle.0 * 1e3,
@@ -155,10 +170,17 @@ impl EpiResult {
     #[must_use]
     pub fn to_csv(&self) -> String {
         let mut t = Table::new("");
-        t.header(["instruction", "latency_cycles", "epi_min_pj", "epi_random_pj", "epi_max_pj"]);
+        t.header([
+            "instruction",
+            "latency_cycles",
+            "epi_min_pj",
+            "epi_random_pj",
+            "epi_max_pj",
+        ]);
         for r in &self.rows {
             let fmt = |p: OperandPattern| {
-                r.at(p).map_or_else(String::new, |e| format!("{:.2}", e.value))
+                r.at(p)
+                    .map_or_else(String::new, |e| format!("{:.2}", e.value))
             };
             t.row([
                 r.label.clone(),
@@ -259,7 +281,12 @@ mod tests {
         let r = quick_cases();
         let add = r.row("add").unwrap().at(OperandPattern::Random).unwrap();
         let div = r.row("sdivx").unwrap().at(OperandPattern::Random).unwrap();
-        assert!(div.value > 4.0 * add.value, "sdivx {} vs add {}", div.value, add.value);
+        assert!(
+            div.value > 4.0 * add.value,
+            "sdivx {} vs add {}",
+            div.value,
+            add.value
+        );
     }
 
     #[test]

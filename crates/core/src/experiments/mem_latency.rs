@@ -92,13 +92,7 @@ mod tests {
         // of the path (chip bridge + gateway + FMC buffering on the way
         // out).
         let r = run();
-        let outbound_fpga: u64 = r
-            .segments
-            .iter()
-            .take(4)
-            .skip(1)
-            .map(|s| s.cycles)
-            .sum();
+        let outbound_fpga: u64 = r.segments.iter().take(4).skip(1).map(|s| s.cycles).sum();
         assert!((70..=95).contains(&outbound_fpga), "{outbound_fpga}");
     }
 

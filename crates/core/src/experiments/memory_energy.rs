@@ -105,12 +105,8 @@ fn measure_scenario(scenario: MemScenario, fidelity: Fidelity) -> WithError {
 
     let window: Seconds = sys.frequency().period() * cycles as f64;
     let delta_w = m.total.mean - idle.total.mean;
-    let e_nj = crate::measure::energy_per_op_nj(
-        idle.total.mean + delta_w,
-        idle.total.mean,
-        window,
-        loads,
-    );
+    let e_nj =
+        crate::measure::energy_per_op_nj(idle.total.mean + delta_w, idle.total.mean, window, loads);
     let err = (m.total.stddev.0.powi(2) + idle.total.stddev.0.powi(2)).sqrt() * window.0
         / loads as f64
         * 1e9;
@@ -213,7 +209,12 @@ mod tests {
         assert!(vals[0] < vals[1], "L1 {} vs L2 {}", vals[0], vals[1]);
         assert!(vals[1] < vals[2]);
         assert!(vals[2] < vals[3]);
-        assert!(vals[4] > 50.0 * vals[3], "miss {} vs remote {}", vals[4], vals[3]);
+        assert!(
+            vals[4] > 50.0 * vals[3],
+            "miss {} vs remote {}",
+            vals[4],
+            vals[3]
+        );
 
         for (row, (_, _, paper)) in r.rows.iter().zip(paper_reference()) {
             let dev = (row.energy_nj.value - paper).abs() / paper;

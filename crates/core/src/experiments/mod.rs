@@ -48,6 +48,11 @@ pub struct Fidelity {
     /// Warm-up cycles before sampling ("after the system reaches a
     /// steady state", §III-A).
     pub warmup_cycles: u64,
+    /// Worker threads for independent sweep points (see
+    /// [`crate::runner`]). `1` runs sweeps serially; results are
+    /// byte-identical at every setting because each grid point builds
+    /// its own isolated system.
+    pub jobs: usize,
 }
 
 impl Fidelity {
@@ -58,6 +63,7 @@ impl Fidelity {
             samples: 128,
             chunk_cycles: 20_000,
             warmup_cycles: 300_000,
+            jobs: 1,
         }
     }
 
@@ -68,7 +74,15 @@ impl Fidelity {
             samples: 12,
             chunk_cycles: 3_000,
             warmup_cycles: 30_000,
+            jobs: 1,
         }
+    }
+
+    /// Same fidelity with `jobs` sweep workers.
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
     }
 }
 

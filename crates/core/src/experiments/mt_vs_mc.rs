@@ -16,6 +16,7 @@ use serde::{Deserialize, Serialize};
 
 use super::Fidelity;
 use crate::report::Table;
+use crate::runner;
 
 /// One (benchmark, threads, T/C) measurement.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -130,16 +131,29 @@ pub fn run_with_threads(thread_counts: &[usize], fidelity: Fidelity) -> MtMcResu
     idle_sys.set_chunk_cycles(fidelity.chunk_cycles);
     let chip_idle = idle_sys.measure_idle_power().mean;
 
+    // 3 benchmarks × thread counts × 2 T/C; the shared chip-idle
+    // baseline was measured once above and is copied into every point.
+    let grid: Vec<(Microbenchmark, usize, ThreadsPerCore)> = Microbenchmark::ALL
+        .into_iter()
+        .flat_map(|bench| {
+            thread_counts.iter().flat_map(move |&threads| {
+                [ThreadsPerCore::One, ThreadsPerCore::Two]
+                    .into_iter()
+                    .map(move |tpc| (bench, threads, tpc))
+            })
+        })
+        .collect();
+    let points = runner::sweep(fidelity.jobs, grid, |_, (bench, threads, tpc)| {
+        measure_point(bench, threads, tpc, chip_idle, fidelity)
+    });
+
+    let per_bench = thread_counts.len() * 2;
     let series = Microbenchmark::ALL
         .into_iter()
-        .map(|bench| {
-            let mut points = Vec::new();
-            for &threads in thread_counts {
-                for tpc in [ThreadsPerCore::One, ThreadsPerCore::Two] {
-                    points.push(measure_point(bench, threads, tpc, chip_idle, fidelity));
-                }
-            }
-            MtMcSeries { bench, points }
+        .zip(points.chunks(per_bench))
+        .map(|(bench, chunk)| MtMcSeries {
+            bench,
+            points: chunk.to_vec(),
         })
         .collect();
     MtMcResult { series, chip_idle }
@@ -255,7 +269,11 @@ mod tests {
             );
             // Execution-time ratio ≈ 2 (little overlap).
             let ratio = mt.exec_time.0 / mc.exec_time.0;
-            assert!((1.5..=2.3).contains(&ratio), "{}: ratio {ratio}", bench.label());
+            assert!(
+                (1.5..=2.3).contains(&ratio),
+                "{}: ratio {ratio}",
+                bench.label()
+            );
         }
     }
 
@@ -280,7 +298,11 @@ mod tests {
     #[test]
     fn int_and_hp_energy_scales_with_threads_hist_stays_flat() {
         let r = result();
-        let e = |bench, threads| pick(&r, bench, threads, ThreadsPerCore::One).total_energy().0;
+        let e = |bench, threads| {
+            pick(&r, bench, threads, ThreadsPerCore::One)
+                .total_energy()
+                .0
+        };
         // Int/HP double total work when threads double.
         assert!(e(Microbenchmark::Int, 16) > 1.5 * e(Microbenchmark::Int, 8));
         // Hist keeps total work constant.

@@ -16,6 +16,7 @@ use serde::{Deserialize, Serialize};
 use super::Fidelity;
 use crate::measure::{epf_pj, linear_fit};
 use crate::report::Table;
+use crate::runner;
 
 /// EPF series for one switching pattern.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -81,25 +82,38 @@ fn measure_power(
 pub fn run(fidelity: Fidelity) -> NocEnergyResult {
     let mesh = piton_arch::topology::Mesh::piton();
     let f = piton_arch::units::Hertz::from_mhz(500.05);
-    let mut series = Vec::new();
-    for (i, pattern) in SwitchPattern::ALL.into_iter().enumerate() {
-        let base = measure_power(pattern, TileId::new(0), fidelity, 0xE0 + i as u64);
-        let mut points = vec![(0usize, 0.0f64)];
-        for hops in 1..=8usize {
-            let dst = mesh
-                .tile_at_distance(TileId::new(0), hops)
-                .expect("5x5 mesh covers 0..=8 hops");
-            let p = measure_power(pattern, dst, fidelity, 0xE0 + i as u64);
-            points.push((hops, epf_pj(p, base, f)));
-        }
-        let fit: Vec<(f64, f64)> = points.iter().map(|&(h, e)| (h as f64, e)).collect();
-        let (_, slope) = linear_fit(&fit);
-        series.push(PatternSeries {
-            pattern: pattern.label().to_owned(),
-            points,
-            pj_per_hop: slope,
-        });
-    }
+    // 4 patterns × hops 0..=8, every point an isolated system; hop 0 is
+    // the pattern's baseline power the others subtract.
+    let grid: Vec<(usize, SwitchPattern, usize)> = SwitchPattern::ALL
+        .into_iter()
+        .enumerate()
+        .flat_map(|(i, pattern)| (0..=8usize).map(move |hops| (i, pattern, hops)))
+        .collect();
+    let powers = runner::sweep(fidelity.jobs, grid, |_, (i, pattern, hops)| {
+        let dst = mesh
+            .tile_at_distance(TileId::new(0), hops)
+            .expect("5x5 mesh covers 0..=8 hops");
+        measure_power(pattern, dst, fidelity, 0xE0 + i as u64)
+    });
+
+    let series = SwitchPattern::ALL
+        .into_iter()
+        .zip(powers.chunks(9))
+        .map(|(pattern, chunk)| {
+            let base = chunk[0];
+            let mut points = vec![(0usize, 0.0f64)];
+            for (hops, &p) in (1..=8usize).zip(&chunk[1..]) {
+                points.push((hops, epf_pj(p, base, f)));
+            }
+            let fit: Vec<(f64, f64)> = points.iter().map(|&(h, e)| (h as f64, e)).collect();
+            let (_, slope) = linear_fit(&fit);
+            PatternSeries {
+                pattern: pattern.label().to_owned(),
+                points,
+                pj_per_hop: slope,
+            }
+        })
+        .collect();
     NocEnergyResult { series }
 }
 
@@ -127,9 +141,7 @@ impl NocEnergyResult {
     #[must_use]
     pub fn render(&self) -> String {
         let mut t = Table::new("Figure 12: NoC energy per flit (pJ) vs hops");
-        t.header([
-            "Hops", "NSW", "HSW", "FSW", "FSWA",
-        ]);
+        t.header(["Hops", "NSW", "HSW", "FSW", "FSWA"]);
         for h in 0..=8usize {
             let cell = |label: &str| {
                 self.series_for(label)

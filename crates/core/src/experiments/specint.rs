@@ -17,6 +17,7 @@ use serde::{Deserialize, Serialize};
 
 use super::Fidelity;
 use crate::report::Table;
+use crate::runner;
 
 /// One Table IX row as reproduced.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -110,14 +111,18 @@ fn measure_kernel(bench: &SpecBenchmark, fidelity: Fidelity) -> KernelMeasuremen
 pub fn run(fidelity: Fidelity) -> SpecResult {
     let t2000 = T2000Model::sun_fire_t2000();
     let piton_f = Hertz::from_mhz(500.05);
-    let rows = table_ix_benchmarks()
+    // Each surrogate kernel simulates its own single-core system.
+    let benches = table_ix_benchmarks();
+    let measured = runner::sweep(fidelity.jobs, benches.clone(), |_, bench| {
+        measure_kernel(&bench, fidelity)
+    });
+    let rows = benches
         .iter()
-        .map(|bench| {
-            let m = measure_kernel(bench, fidelity);
+        .zip(measured)
+        .map(|(bench, m)| {
             let cpi_t = t2000.cpi(&bench.profile);
             // Instruction count from the independent T2000 anchor.
-            let instructions =
-                bench.t2000_minutes * 60.0 * (t2000.freq_mhz * 1e6) / cpi_t;
+            let instructions = bench.t2000_minutes * 60.0 * (t2000.freq_mhz * 1e6) / cpi_t;
             // Effective CPI: measured kernel CPI plus the fitted OS
             // overhead (TLB reloads, paging, kernel time).
             let cpi_eff = m.cpi + bench.profile.os_stall_cpi;
@@ -232,7 +237,10 @@ pub struct TimeSeriesResult {
 #[must_use]
 pub fn run_timeseries(samples: usize, fidelity: Fidelity) -> TimeSeriesResult {
     let benches = table_ix_benchmarks();
-    let gcc = benches.iter().find(|b| b.name == "gcc-166").expect("gcc-166");
+    let gcc = benches
+        .iter()
+        .find(|b| b.name == "gcc-166")
+        .expect("gcc-166");
     // Phase variants: lean (fewer misses) and heavy (profile as-is).
     let mut lean = gcc.profile;
     lean.mem_load_pct *= 0.3;
@@ -262,17 +270,16 @@ pub fn run_timeseries(samples: usize, fidelity: Fidelity) -> TimeSeriesResult {
         let r0 = sys.machine().core(TileId::new(0)).retired();
         sys.machine_mut().run(fidelity.chunk_cycles);
         let executed = sys.machine().core(TileId::new(0)).retired() - r0;
-        let io_rate = if phase_heavy { gcc.profile.io_per_kinstr } else { 0.0 };
+        let io_rate = if phase_heavy {
+            gcc.profile.io_per_kinstr
+        } else {
+            0.0
+        };
         let io = (executed as f64 * io_rate / 1_000.0).round() as u64;
         sys.machine_mut().record_io(io);
         let delta = sys.machine().counters().delta_since(&before);
         let p = sys.power_model().power(&delta, sys.operating_point());
-        out.push((
-            k as f64 * dt,
-            p.vdd.as_mw(),
-            p.vcs.as_mw(),
-            p.vio.as_mw(),
-        ));
+        out.push((k as f64 * dt, p.vdd.as_mw(), p.vcs.as_mw(), p.vio.as_mw()));
     }
     TimeSeriesResult {
         samples: out,

@@ -15,6 +15,7 @@ use serde::{Deserialize, Serialize};
 
 use super::{vf_sweep, Fidelity};
 use crate::report::Table;
+use crate::runner;
 
 /// One voltage/frequency point of Figure 10 (three-chip average).
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -96,28 +97,45 @@ fn measure_chip(
 /// Runs the Figure 10 sweep and the Table V defaults.
 #[must_use]
 pub fn run(fidelity: Fidelity) -> StaticIdleResult {
-    let vf = vf_sweep::run();
-    let mut points = Vec::new();
-    for (i, p) in vf.chip(NamedChip::Chip2).points.iter().enumerate() {
-        let vdd = p.vdd;
-        let freq = Hertz::from_mhz(vf.min_fmax_mhz(i));
-        let mut acc = [Watts::ZERO; 4];
-        for chip in [NamedChip::Chip1, NamedChip::Chip2, NamedChip::Chip3] {
-            let (sv, sc, dv, dc) = measure_chip(chip, vdd, freq, fidelity);
-            acc[0] += sv;
-            acc[1] += sc;
-            acc[2] += dv;
-            acc[3] += dc;
-        }
-        points.push(StaticIdlePoint {
-            vdd,
-            freq,
-            static_vdd: acc[0] / 3.0,
-            static_vcs: acc[1] / 3.0,
-            dynamic_vdd: acc[2] / 3.0,
-            dynamic_vcs: acc[3] / 3.0,
-        });
-    }
+    let vf = vf_sweep::run_with_jobs(fidelity.jobs);
+    // 9 voltage steps × 3 chips, averaged per step after the sweep.
+    let grid: Vec<(Volts, Hertz, NamedChip)> = vf
+        .chip(NamedChip::Chip2)
+        .points
+        .iter()
+        .enumerate()
+        .flat_map(|(i, p)| {
+            let freq = Hertz::from_mhz(vf.min_fmax_mhz(i));
+            [NamedChip::Chip1, NamedChip::Chip2, NamedChip::Chip3]
+                .into_iter()
+                .map(move |chip| (p.vdd, freq, chip))
+        })
+        .collect();
+    let measured = runner::sweep(fidelity.jobs, grid.clone(), |_, (vdd, freq, chip)| {
+        measure_chip(chip, vdd, freq, fidelity)
+    });
+
+    let points = grid
+        .chunks(3)
+        .zip(measured.chunks(3))
+        .map(|(step, rails)| {
+            let mut acc = [Watts::ZERO; 4];
+            for &(sv, sc, dv, dc) in rails {
+                acc[0] += sv;
+                acc[1] += sc;
+                acc[2] += dv;
+                acc[3] += dc;
+            }
+            StaticIdlePoint {
+                vdd: step[0].0,
+                freq: step[0].1,
+                static_vdd: acc[0] / 3.0,
+                static_vcs: acc[1] / 3.0,
+                dynamic_vdd: acc[2] / 3.0,
+                dynamic_vcs: acc[3] / 3.0,
+            }
+        })
+        .collect();
 
     // Table V: Chip #2 at the Table III defaults.
     let mut sys = PitonSystem::reference_chip_2();
@@ -136,7 +154,8 @@ impl StaticIdleResult {
     /// Renders Figure 10 + Table V.
     #[must_use]
     pub fn render(&self) -> String {
-        let mut t = Table::new("Figure 10: static and idle power vs voltage/frequency (3-chip average)");
+        let mut t =
+            Table::new("Figure 10: static and idle power vs voltage/frequency (3-chip average)");
         t.header([
             "VDD (V)",
             "f (MHz)",

@@ -85,18 +85,11 @@ pub fn run_thermal_power(fidelity: Fidelity) -> ThermalPowerResult {
         let delta = sys.machine().counters().delta_since(&before);
 
         for &eff in &fan_steps {
-            let thermal = ThermalModel::new(
-                Cooling::BarePackageFan {
-                    effectiveness: eff,
-                },
-                20.0,
-            );
+            let thermal = ThermalModel::new(Cooling::BarePackageFan { effectiveness: eff }, 20.0);
             let model = sys.power_model().clone();
             let op0 = sys.operating_point();
-            let (junction, power) = thermal.equilibrium(
-                |t| model.power(&delta, op0.with_junction(t)).total(),
-                120.0,
-            );
+            let (junction, power) =
+                thermal.equilibrium(|t| model.power(&delta, op0.with_junction(t)).total(), 120.0);
             // Surface = junction − P × R_js.
             let surface = junction - power.0 * Cooling::HeatsinkFan.r_junction_surface();
             points.push(ThermalPoint {
@@ -114,7 +107,10 @@ impl ThermalPowerResult {
     /// Points for one thread count, ordered by fan step.
     #[must_use]
     pub fn for_threads(&self, threads: usize) -> Vec<&ThermalPoint> {
-        self.points.iter().filter(|p| p.threads == threads).collect()
+        self.points
+            .iter()
+            .filter(|p| p.threads == threads)
+            .collect()
     }
 
     /// Renders the Figure 17 series.
@@ -160,8 +156,16 @@ impl ScheduleTrace {
     /// Peak-to-peak power swing.
     #[must_use]
     pub fn power_swing(&self) -> Watts {
-        let max = self.samples.iter().map(|s| s.power.0).fold(f64::MIN, f64::max);
-        let min = self.samples.iter().map(|s| s.power.0).fold(f64::MAX, f64::min);
+        let max = self
+            .samples
+            .iter()
+            .map(|s| s.power.0)
+            .fold(f64::MIN, f64::max);
+        let min = self
+            .samples
+            .iter()
+            .map(|s| s.power.0)
+            .fold(f64::MAX, f64::min);
         Watts(max - min)
     }
 
@@ -354,7 +358,9 @@ mod tests {
 
     #[test]
     fn renders_mention_both_figures() {
-        assert!(run_thermal_power(Fidelity::quick()).render().contains("Figure 17"));
+        assert!(run_thermal_power(Fidelity::quick())
+            .render()
+            .contains("Figure 17"));
         let s = run_scheduling(16, 1.0, Fidelity::quick()).render();
         assert!(s.contains("Figure 18"));
         assert!(s.contains("Interleaved"));

@@ -13,6 +13,7 @@ use piton_power::{Calibration, TechModel};
 use serde::{Deserialize, Serialize};
 
 use crate::report::Table;
+use crate::runner;
 
 /// One chip's sweep.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -47,12 +48,20 @@ pub fn paper_reference() -> Vec<(f64, f64)> {
     ]
 }
 
-/// Runs the three-chip sweep.
+/// Runs the three-chip sweep serially.
 #[must_use]
 pub fn run() -> VfSweepResult {
-    let chips = [NamedChip::Chip1, NamedChip::Chip2, NamedChip::Chip3]
-        .into_iter()
-        .map(|chip| {
+    run_with_jobs(1)
+}
+
+/// Runs the three-chip sweep on up to `jobs` workers (each chip's
+/// solver is independent).
+#[must_use]
+pub fn run_with_jobs(jobs: usize) -> VfSweepResult {
+    let chips = runner::sweep(
+        jobs,
+        vec![NamedChip::Chip1, NamedChip::Chip2, NamedChip::Chip3],
+        |_, chip| {
             let model = PowerModel::new(
                 Calibration::piton_hpca18(),
                 TechModel::ibm32soi(),
@@ -63,8 +72,8 @@ pub fn run() -> VfSweepResult {
                 chip,
                 points: solver.sweep(),
             }
-        })
-        .collect();
+        },
+    );
     VfSweepResult { chips }
 }
 

@@ -27,5 +27,6 @@
 pub mod experiments;
 pub mod measure;
 pub mod report;
+pub mod runner;
 
 pub use experiments::Fidelity;

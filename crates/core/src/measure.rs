@@ -146,9 +146,8 @@ mod tests {
             Hertz::from_mhz(500.0),
             10,
         );
-        let expected_err = (0.003f64.powi(2) + 0.004f64.powi(2)).sqrt() / 500.0e6 / 25.0
-            * 10.0
-            * 1e12;
+        let expected_err =
+            (0.003f64.powi(2) + 0.004f64.powi(2)).sqrt() / 500.0e6 / 25.0 * 10.0 * 1e12;
         assert!((we.error - expected_err).abs() < 1e-9);
         assert!(we.value > 0.0);
     }
@@ -177,7 +176,9 @@ mod tests {
 
     #[test]
     fn linear_fit_recovers_line() {
-        let pts: Vec<(f64, f64)> = (0..9).map(|x| (x as f64, 3.58 + 11.16 * x as f64)).collect();
+        let pts: Vec<(f64, f64)> = (0..9)
+            .map(|x| (x as f64, 3.58 + 11.16 * x as f64))
+            .collect();
         let (a, b) = linear_fit(&pts);
         assert!((a - 3.58).abs() < 1e-9);
         assert!((b - 11.16).abs() < 1e-9);

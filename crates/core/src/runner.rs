@@ -1,0 +1,252 @@
+//! Parallel sweep engine for independent experiment grid points.
+//!
+//! Every experiment in [`crate::experiments`] measures a grid of
+//! independent points — (instruction × operand pattern), (benchmark ×
+//! thread count × configuration), (voltage × chip) — and each point
+//! builds its own [`piton_board::system::PitonSystem`] from scratch.
+//! Nothing is shared between points, so they can run on worker threads
+//! without changing any result: [`sweep`] fans a grid across
+//! `jobs` scoped threads ([`std::thread::scope`], no extra
+//! dependencies) and collects results **in index order**, so the output
+//! is byte-identical to the serial run at any jobs level.
+//!
+//! Wall-clock and per-point busy time are accumulated in a process-wide
+//! tally the `reproduce` binary drains per section ([`take_stats`]) to
+//! report the achieved speedup.
+//!
+//! # Examples
+//!
+//! ```
+//! use piton_core::runner;
+//!
+//! let squares = runner::sweep(4, (0u64..8).collect(), |_, x| x * x);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Accumulated sweep timing: how much point work ran (`busy`) versus
+/// how long the sweeps took end to end (`wall`).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SweepStats {
+    /// Completed sweeps.
+    pub sweeps: usize,
+    /// Grid points measured.
+    pub points: usize,
+    /// Sum of per-point execution times.
+    pub busy: Duration,
+    /// Sum of sweep wall-clock times.
+    pub wall: Duration,
+}
+
+impl SweepStats {
+    /// Achieved parallel speedup: busy time divided by wall time
+    /// (1.0 when serial, approaching `jobs` under perfect scaling).
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        if self.wall.is_zero() {
+            1.0
+        } else {
+            self.busy.as_secs_f64() / self.wall.as_secs_f64()
+        }
+    }
+
+    fn absorb(&mut self, points: usize, busy: Duration, wall: Duration) {
+        self.sweeps += 1;
+        self.points += points;
+        self.busy += busy;
+        self.wall += wall;
+    }
+}
+
+static STATS: Mutex<SweepStats> = Mutex::new(SweepStats {
+    sweeps: 0,
+    points: 0,
+    busy: Duration::ZERO,
+    wall: Duration::ZERO,
+});
+
+/// Returns the stats accumulated since the last call and resets the
+/// tally (the `reproduce` harness drains this once per section).
+pub fn take_stats() -> SweepStats {
+    let mut guard = STATS.lock().expect("stats lock");
+    std::mem::take(&mut *guard)
+}
+
+/// Runs `f(index, item)` over every item of the grid on up to `jobs`
+/// worker threads and returns the results in item order.
+///
+/// Work is handed out dynamically (an atomic cursor over the grid), so
+/// long points don't serialize behind short ones; results land in a
+/// slot per index, making the output order — and therefore every
+/// rendered table and CSV downstream — independent of scheduling.
+/// With `jobs <= 1` or a single item the grid runs inline on the
+/// caller's thread.
+///
+/// # Panics
+///
+/// Propagates the first panic from any grid point (the scope joins all
+/// workers first), and panics if a worker thread cannot be spawned.
+pub fn sweep<I, T, F>(jobs: usize, items: Vec<I>, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(usize, I) -> T + Sync,
+{
+    let n = items.len();
+    let workers = jobs.max(1).min(n);
+    let t_sweep = Instant::now();
+
+    if workers <= 1 {
+        let mut busy = Duration::ZERO;
+        let out: Vec<T> = items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| {
+                let t0 = Instant::now();
+                let r = f(i, item);
+                busy += t0.elapsed();
+                r
+            })
+            .collect();
+        STATS
+            .lock()
+            .expect("stats lock")
+            .absorb(n, busy, t_sweep.elapsed());
+        return out;
+    }
+
+    let slots: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let busy_ns = std::sync::atomic::AtomicU64::new(0);
+    let cursor = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                    if idx >= n {
+                        break;
+                    }
+                    let item = slots[idx]
+                        .lock()
+                        .expect("item slot lock")
+                        .take()
+                        .expect("each grid point is claimed once");
+                    let t0 = Instant::now();
+                    let out = f(idx, item);
+                    let spent = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    busy_ns.fetch_add(spent, Ordering::Relaxed);
+                    *results[idx].lock().expect("result slot lock") = Some(out);
+                })
+            })
+            .collect();
+        // Join explicitly: a panicking grid point must reach the caller
+        // with its original payload, not the scope's generic
+        // "a scoped thread panicked" message.
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+
+    let out: Vec<T> = results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot lock")
+                .expect("all grid points completed")
+        })
+        .collect();
+    STATS.lock().expect("stats lock").absorb(
+        n,
+        Duration::from_nanos(busy_ns.load(Ordering::Relaxed)),
+        t_sweep.elapsed(),
+    );
+    out
+}
+
+/// The number of worker threads to use when the caller doesn't say:
+/// `PITON_JOBS` if set (clamped to at least 1), otherwise the machine's
+/// available parallelism.
+#[must_use]
+pub fn default_jobs() -> usize {
+    if let Ok(v) = std::env::var("PITON_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        // Make early indices the slowest so a scheduling-order bug
+        // would scramble the output.
+        let out = sweep(4, (0u64..32).collect(), |i, x| {
+            std::thread::sleep(Duration::from_micros(300 - 9 * i as u64));
+            (i, x * 2)
+        });
+        for (i, (idx, doubled)) in out.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert_eq!(*doubled, 2 * i as u64);
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let grid: Vec<u64> = (0..50).collect();
+        let f = |i: usize, x: u64| x.wrapping_mul(0x9E37_79B9).rotate_left(i as u32);
+        assert_eq!(sweep(1, grid.clone(), f), sweep(8, grid, f));
+    }
+
+    #[test]
+    fn jobs_zero_and_one_fall_back_to_inline_execution() {
+        // Both must produce the full result set without spawning.
+        for jobs in [0, 1] {
+            let out = sweep(jobs, vec![10u64, 20, 30], |i, x| x + i as u64);
+            assert_eq!(out, vec![10, 21, 32]);
+        }
+    }
+
+    #[test]
+    fn empty_grid_is_fine() {
+        let out: Vec<u64> = sweep(8, Vec::<u64>::new(), |_, x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "grid point 3 exploded")]
+    fn panics_propagate_to_the_caller() {
+        let _ = sweep(4, (0usize..8).collect(), |i, x| {
+            assert!(i != 3, "grid point 3 exploded");
+            x
+        });
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        // Other tests run concurrently in this process and also feed
+        // the global tally, so only check what this sweep guarantees:
+        // afterwards the tally covers at least our points, and taking
+        // it twice in a row eventually yields an empty tally.
+        let _ = sweep(2, (0u64..5).collect(), |_, x| x);
+        let s = take_stats();
+        assert!(s.sweeps >= 1);
+        assert!(s.points >= 5);
+        assert!(s.speedup() >= 0.0);
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+    }
+}

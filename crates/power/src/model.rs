@@ -251,13 +251,10 @@ impl PowerModel {
     #[must_use]
     pub fn static_power(&self, op: OperatingPoint) -> RailPower {
         let c = &self.calib;
-        let t_scale = self
-            .tech
-            .leakage_temperature_scale(
-                op.junction_c.min(crate::thermal::T_CLAMP_C),
-                c.static_calibration_temp_c,
-            )
-            * self.corner.leakage;
+        let t_scale = self.tech.leakage_temperature_scale(
+            op.junction_c.min(crate::thermal::T_CLAMP_C),
+            c.static_calibration_temp_c,
+        ) * self.corner.leakage;
         let vdd_scale = self.tech.leakage_voltage_scale(op.vdd, Volts(1.0));
         let vcs_scale = self.tech.leakage_voltage_scale(op.vcs, Volts(1.05));
         RailPower {
@@ -317,9 +314,10 @@ mod tests {
     use super::*;
 
     fn idle_window(cycles: u64) -> ActivityCounters {
-        let mut a = ActivityCounters::default();
-        a.cycles = cycles;
-        a
+        ActivityCounters {
+            cycles,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -417,11 +415,7 @@ mod tests {
         let p_idle = m.power(&idle_window(1_000_000), op);
         let delta = p_busy.total() - p_idle.total();
         // 25 cores × ~95 pJ/add + fetch ≈ 25 × 110 pJ/cycle × 500 MHz ≈ 1.4 W.
-        assert!(
-            (1.0..2.0).contains(&delta.0),
-            "delta {} W",
-            delta.0
-        );
+        assert!((1.0..2.0).contains(&delta.0), "delta {} W", delta.0);
     }
 
     #[test]

@@ -228,10 +228,7 @@ mod tests {
         assert!((s2 - 26.0).abs() < 1e-9); // 20 + 2*3
         assert!((j2 - 36.0).abs() < 1e-9); // 26 + 2*5
 
-        let bare = ThermalModel::new(
-            Cooling::BarePackageFan { effectiveness: 0.0 },
-            20.0,
-        );
+        let bare = ThermalModel::new(Cooling::BarePackageFan { effectiveness: 0.0 }, 20.0);
         let (j_bare, _) = bare.steady_state(Watts(0.6));
         assert!(j_bare > 35.0, "bare package runs hot: {j_bare}");
     }
@@ -253,7 +250,11 @@ mod tests {
             t.step(p, Seconds(0.1));
         }
         let (j, s) = t.steady_state(p);
-        assert!((t.junction_c() - j).abs() < 0.2, "{} vs {j}", t.junction_c());
+        assert!(
+            (t.junction_c() - j).abs() < 0.2,
+            "{} vs {j}",
+            t.junction_c()
+        );
         assert!((t.surface_c() - s).abs() < 0.2);
     }
 

@@ -131,8 +131,10 @@ impl VfSolver {
             // Clock stopped: static power only.
             return self.model.static_power(op).total();
         }
-        let mut idle = ActivityCounters::default();
-        idle.cycles = 100_000;
+        let idle = ActivityCounters {
+            cycles: 100_000,
+            ..Default::default()
+        };
         let p = self.model.power(&idle, op);
         let dynamic = p.total() - self.model.static_power(op).total();
         dynamic * self.boot_activity_factor + self.model.static_power(op).total()
@@ -152,11 +154,14 @@ impl VfSolver {
             // functioning system; the thermal walk handles infeasible
             // points.
             let v_die = Volts(
-                (vdd.0 - current.0 * R_SUPPLY_OHMS)
-                    .max(self.model.tech().v_threshold.0 + 0.02),
+                (vdd.0 - current.0 * R_SUPPLY_OHMS).max(self.model.tech().v_threshold.0 + 0.02),
             );
             let derate = 1.0 - FREQ_TEMP_DERATE_PER_C * (t_j - 25.0).max(0.0);
-            f = Hertz((self.model.tech().fmax(v_die) * corner.speed * derate).0.max(self.ladder.base.0));
+            f = Hertz(
+                (self.model.tech().fmax(v_die) * corner.speed * derate)
+                    .0
+                    .max(self.ladder.base.0),
+            );
         }
         f
     }

@@ -23,7 +23,9 @@ use piton_arch::config::CacheConfig;
 use serde::{Deserialize, Serialize};
 
 /// MESI state of a cache line.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
 pub enum LineState {
     /// Not present.
     #[default]
@@ -118,7 +120,9 @@ impl SetAssocCache {
     pub fn lookup(&mut self, addr: u64, now: u64) -> Option<LineState> {
         let tag = addr >> self.line_shift;
         let range = self.set_range(addr);
-        let way = self.ways[range].iter_mut().find(|w| w.state.is_valid() && w.tag == tag)?;
+        let way = self.ways[range]
+            .iter_mut()
+            .find(|w| w.state.is_valid() && w.tag == tag)?;
         way.last_used = now;
         Some(way.state)
     }
@@ -220,8 +224,7 @@ impl SetAssocCache {
                 let set = (i as u64) / assoc;
                 // Reconstruct: tag holds addr >> line_shift; the set index
                 // is embedded in the tag's low bits by construction.
-                debug_assert_eq!(w.tag & (sets - 1), w.tag & (sets - 1));
-                let _ = set;
+                debug_assert_eq!(w.tag & (sets - 1), set);
                 Some((w.tag << shift, w.state))
             } else {
                 None

@@ -159,7 +159,7 @@ impl MemoryPath {
 
         act.offchip_requests += 1;
         act.dram_accesses += 2; // 32-bit DRAM interface: two accesses per request
-        // 3-flit request out; a 64 B line returns as 8 data flits + header.
+                                // 3-flit request out; a 64 B line returns as 8 data flits + header.
         act.chip_bridge_flits += 3 + 9;
 
         self.free_at - now

@@ -43,12 +43,31 @@ pub enum ThreadState {
     Halted,
 }
 
+/// What a thread's current occupancy (`busy_until`) is waiting on.
+///
+/// [`ActivityCounters::mem_stall_cycles`] charges only memory-system
+/// waits, so every site that sets `busy_until` must record why: a
+/// divide's execute occupancy or a store-buffer roll-back holds the
+/// thread just as long, but is not a memory stall.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitKind {
+    /// Pipeline occupancy of a non-memory instruction (ALU, FPU,
+    /// branch, nop).
+    Execute,
+    /// A memory-system round trip (load or atomic).
+    Memory,
+    /// The store buffer: a roll-back penalty or a `membar` drain wait.
+    StoreDrain,
+}
+
 /// One hardware thread context.
 #[derive(Debug, Clone)]
 struct Thread {
     regs: [u64; Reg::COUNT],
     pc: usize,
     busy_until: u64,
+    /// Why the thread is occupied until `busy_until`.
+    wait: WaitKind,
     state: ThreadState,
     program: Option<Arc<Program>>,
     /// Retired instruction count (for IPC / progress measurements).
@@ -61,10 +80,17 @@ impl Thread {
             regs: [0; Reg::COUNT],
             pc: 0,
             busy_until: 0,
+            wait: WaitKind::Execute,
             state: ThreadState::Idle,
             program: None,
             retired: 0,
         }
+    }
+
+    /// Whether the thread is running but held by a memory-system wait
+    /// at `now`.
+    fn memory_waiting(&self, now: u64) -> bool {
+        self.state == ThreadState::Running && self.busy_until > now && self.wait == WaitKind::Memory
     }
 
     fn read(&self, r: Reg) -> u64 {
@@ -238,6 +264,17 @@ impl Core {
             .min()
     }
 
+    /// Number of running threads held by a memory-system wait at `now`
+    /// (the machine's fast-forward path charges these per skipped
+    /// cycle).
+    #[must_use]
+    pub fn memory_waiting_threads(&self, now: u64) -> u64 {
+        self.threads
+            .iter()
+            .filter(|t| t.memory_waiting(now))
+            .count() as u64
+    }
+
     /// Advances the core by one cycle: drain the store buffer, pick a
     /// ready thread round-robin, and issue its next instruction.
     ///
@@ -254,6 +291,15 @@ impl Core {
             return false;
         }
         act.core_active_cycles += 1;
+        // Memory stalls are charged per thread-cycle actually spent
+        // waiting on the memory system — not for execute occupancy,
+        // store-buffer drains or losing the round-robin, and regardless
+        // of whether the sibling thread issues this cycle.
+        act.mem_stall_cycles += self
+            .threads
+            .iter()
+            .filter(|t| t.memory_waiting(now))
+            .count() as u64;
         let dual = self
             .threads
             .iter()
@@ -272,7 +318,6 @@ impl Core {
             }
         }
         let Some(idx) = chosen else {
-            act.mem_stall_cycles += 1;
             return false;
         };
         self.next_thread = (idx + 1) % n;
@@ -302,7 +347,13 @@ impl Core {
 
     /// Issues the next instruction of thread `idx`.
     #[allow(clippy::too_many_lines)]
-    fn issue(&mut self, idx: usize, now: u64, memsys: &mut MemorySystem, act: &mut ActivityCounters) {
+    fn issue(
+        &mut self,
+        idx: usize,
+        now: u64,
+        memsys: &mut MemorySystem,
+        act: &mut ActivityCounters,
+    ) {
         let (instr, program_len) = {
             let t = &self.threads[idx];
             let program = t.program.as_ref().expect("running thread has a program");
@@ -345,7 +396,15 @@ impl Core {
                     _ => unreachable!(),
                 };
                 self.threads[idx].write(instr.rd, r);
-                self.finish(idx, now, op.base_latency(), op, datapath_activity(a, b, r), None, act);
+                self.finish(
+                    idx,
+                    now,
+                    op.base_latency(),
+                    op,
+                    datapath_activity(a, b, r),
+                    None,
+                    act,
+                );
             }
             Opcode::Faddd | Opcode::Fmuld | Opcode::Fdivd => {
                 let a = f64::from_bits(self.threads[idx].read(instr.rs1));
@@ -384,23 +443,26 @@ impl Core {
                     now,
                     op.base_latency(),
                     op,
-                    datapath_activity(
-                        u64::from(a.to_bits()),
-                        u64::from(b.to_bits()),
-                        bits,
-                    ),
+                    datapath_activity(u64::from(a.to_bits()), u64::from(b.to_bits()), bits),
                     None,
                     act,
                 );
             }
             Opcode::Ldx => {
-                let addr = self
-                    .threads[idx]
+                let addr = self.threads[idx]
                     .read(instr.rs1)
                     .wrapping_add(instr.imm as u64);
                 let out = memsys.load(self.tile, addr, now, act);
                 self.threads[idx].write(instr.rd, out.value);
-                self.finish(idx, now, out.latency, op, value_activity(out.value), None, act);
+                self.finish(
+                    idx,
+                    now,
+                    out.latency,
+                    op,
+                    value_activity(out.value),
+                    None,
+                    act,
+                );
             }
             Opcode::Stx => {
                 if self.store_buffer.is_full() {
@@ -408,10 +470,10 @@ impl Core {
                     // and re-execute (the stx (F) case of Figure 11).
                     act.store_rollbacks += 1;
                     self.threads[idx].busy_until = now + ROLLBACK_PENALTY_CYCLES;
+                    self.threads[idx].wait = WaitKind::StoreDrain;
                     return; // PC unchanged: the store retries
                 }
-                let addr = self
-                    .threads[idx]
+                let addr = self.threads[idx]
                     .read(instr.rs1)
                     .wrapping_add(instr.imm as u64);
                 let value = self.threads[idx].read(instr.rs2);
@@ -427,7 +489,15 @@ impl Core {
                 let new = self.threads[idx].read(instr.rd);
                 let (old, latency) = memsys.cas(self.tile, addr, expected, new, now, act);
                 self.threads[idx].write(instr.rd, old);
-                self.finish(idx, now, latency, op, value_activity(old ^ expected), None, act);
+                self.finish(
+                    idx,
+                    now,
+                    latency,
+                    op,
+                    value_activity(old ^ expected),
+                    None,
+                    act,
+                );
             }
             Opcode::Beq | Opcode::Bne => {
                 let a = self.threads[idx].read(instr.rs1);
@@ -450,7 +520,15 @@ impl Core {
             }
             Opcode::Membar => {
                 let done = self.store_buffer.drained_by(now);
-                self.finish(idx, now, (done - now).max(op.base_latency()), op, 0.0, None, act);
+                self.finish(
+                    idx,
+                    now,
+                    (done - now).max(op.base_latency()),
+                    op,
+                    0.0,
+                    None,
+                    act,
+                );
             }
             Opcode::Halt => {
                 let t = &mut self.threads[idx];
@@ -462,7 +540,8 @@ impl Core {
     }
 
     /// Completes an issued instruction: records its issue and activity,
-    /// occupies the thread and advances (or redirects) the PC.
+    /// occupies the thread (tagging what the occupancy waits on) and
+    /// advances (or redirects) the PC.
     #[allow(clippy::too_many_arguments)]
     fn finish(
         &mut self,
@@ -478,6 +557,11 @@ impl Core {
         act.record_issue(op, occupancy, activity.clamp(0.0, 1.0));
         let t = &mut self.threads[idx];
         t.busy_until = now + occupancy;
+        t.wait = match op {
+            Opcode::Ldx | Opcode::Casx => WaitKind::Memory,
+            Opcode::Membar => WaitKind::StoreDrain,
+            _ => WaitKind::Execute,
+        };
         t.pc = branch_target.unwrap_or(t.pc + 1);
         t.retired += 1;
     }
@@ -521,10 +605,8 @@ mod tests {
     #[test]
     fn g0_stays_zero() {
         let (mut core, mut memsys, mut act) = setup();
-        let program = Program::from_instructions(vec![
-            Instruction::movi(Reg::G0, 99),
-            Instruction::halt(),
-        ]);
+        let program =
+            Program::from_instructions(vec![Instruction::movi(Reg::G0, 99), Instruction::halt()]);
         core.load_thread(0, Arc::new(program));
         run(&mut core, &mut memsys, &mut act, 50);
         assert_eq!(core.reg(0, Reg::G0), 0);

@@ -218,9 +218,19 @@ impl Machine {
             if next > self.now {
                 let skipped = next - self.now;
                 let running = self.cores.iter().filter(|c| c.any_running()).count() as u64;
+                // No thread is ready before `next`, so every running
+                // thread keeps its current wait for the whole window:
+                // active cycles accrue per running core, memory stalls
+                // only per thread actually waiting on the memory system
+                // (matching Core::step's per-cycle charging).
+                let memory_waiting: u64 = self
+                    .cores
+                    .iter()
+                    .map(|c| c.memory_waiting_threads(self.now))
+                    .sum();
                 self.act.cycles += skipped;
                 self.act.core_active_cycles += skipped * running;
-                self.act.mem_stall_cycles += skipped * running;
+                self.act.mem_stall_cycles += skipped * memory_waiting;
                 self.now = next;
             }
         }
@@ -390,6 +400,9 @@ mod tests {
         fswa.run_invalidation_traffic(TileId::new(2), SwitchPattern::Fswa, 47 * 50);
         let mut fsw = machine();
         fsw.run_invalidation_traffic(TileId::new(2), SwitchPattern::Fsw, 47 * 50);
-        assert!(fswa.counters().noc_coupling_switches > 10 * fsw.counters().noc_coupling_switches.max(1));
+        assert!(
+            fswa.counters().noc_coupling_switches
+                > 10 * fsw.counters().noc_coupling_switches.max(1)
+        );
     }
 }

@@ -403,8 +403,7 @@ impl MemorySystem {
             act.l2_misses += 1;
             let path_latency = self.path.access(now, act);
             act.l2_writes += 1; // fill
-            if let Some(victim) = self.l2[home.index()].insert(l2_line, LineState::Exclusive, now)
-            {
+            if let Some(victim) = self.l2[home.index()].insert(l2_line, LineState::Exclusive, now) {
                 self.handle_l2_eviction(home, victim.line_addr, victim.state.is_dirty(), act);
             }
             let mut e = DirEntry::default();
@@ -468,7 +467,11 @@ impl MemorySystem {
         let resp = Self::flit_payloads(addr, value, RESP_FLITS);
         self.noc.send(NocId::Noc3, home, tile, &resp, act);
 
-        let entry = self.dir.get(&self.l2_line(addr)).copied().unwrap_or_default();
+        let entry = self
+            .dir
+            .get(&self.l2_line(addr))
+            .copied()
+            .unwrap_or_default();
         let alone = entry.sharers == DirEntry::bit(tile) && entry.owner.is_none();
         let fill_state = if alone {
             LineState::Exclusive
@@ -509,7 +512,8 @@ impl MemorySystem {
             Some(LineState::Modified | LineState::Exclusive)
         );
         let latency = if owned {
-            self.l15[tile.index()].set_state(addr & !(self.cfg.l15.line_bytes - 1), LineState::Modified);
+            self.l15[tile.index()]
+                .set_state(addr & !(self.cfg.l15.line_bytes - 1), LineState::Modified);
             STORE_DRAIN_CYCLES
         } else {
             let home = self.home_slice(addr);

@@ -140,7 +140,10 @@ impl MittsShaper {
             .map(|(b, _)| self.last_request + b.min_gap)
             .min();
         let next_period = self.period_start + self.period;
-        let when = next_gap_bin.unwrap_or(next_period).min(next_period).max(now + 1);
+        let when = next_gap_bin
+            .unwrap_or(next_period)
+            .min(next_period)
+            .max(now + 1);
         self.replenish(when);
         let gap2 = when.saturating_sub(self.last_request);
         let _ = self.claim(gap2); // bins refilled or gap satisfied
@@ -171,7 +174,13 @@ mod tests {
     #[test]
     fn credits_admit_then_exhaust() {
         // One bin: gaps >= 0, 2 credits per 100-cycle period.
-        let mut m = MittsShaper::with_bins(vec![MittsBin { min_gap: 0, credits: 2 }], 100);
+        let mut m = MittsShaper::with_bins(
+            vec![MittsBin {
+                min_gap: 0,
+                credits: 2,
+            }],
+            100,
+        );
         assert_eq!(m.admit(0), 0);
         assert_eq!(m.admit(1), 1);
         // Third request must wait for the period replenish.
@@ -184,13 +193,19 @@ mod tests {
         // Two bins: fast gaps (>=0) have 1 credit, slow gaps (>=50) have 4.
         let mut m = MittsShaper::with_bins(
             vec![
-                MittsBin { min_gap: 0, credits: 1 },
-                MittsBin { min_gap: 50, credits: 4 },
+                MittsBin {
+                    min_gap: 0,
+                    credits: 1,
+                },
+                MittsBin {
+                    min_gap: 50,
+                    credits: 4,
+                },
             ],
             1_000,
         );
         assert_eq!(m.admit(0), 0); // fast credit
-        // Back-to-back request: fast bin empty, must wait for gap 50.
+                                   // Back-to-back request: fast bin empty, must wait for gap 50.
         assert_eq!(m.admit(1), 50);
         // A naturally slow request (gap >= 50) passes immediately.
         assert_eq!(m.admit(120), 120);
@@ -198,7 +213,13 @@ mod tests {
 
     #[test]
     fn replenish_restores_credits() {
-        let mut m = MittsShaper::with_bins(vec![MittsBin { min_gap: 0, credits: 1 }], 10);
+        let mut m = MittsShaper::with_bins(
+            vec![MittsBin {
+                min_gap: 0,
+                credits: 1,
+            }],
+            10,
+        );
         assert_eq!(m.admit(0), 0);
         assert_eq!(m.admit(25), 25); // two periods later: refilled
     }
@@ -214,8 +235,14 @@ mod tests {
     fn unsorted_bins_panics() {
         let _ = MittsShaper::with_bins(
             vec![
-                MittsBin { min_gap: 10, credits: 1 },
-                MittsBin { min_gap: 5, credits: 1 },
+                MittsBin {
+                    min_gap: 10,
+                    credits: 1,
+                },
+                MittsBin {
+                    min_gap: 5,
+                    credits: 1,
+                },
             ],
             100,
         );

@@ -130,8 +130,6 @@ impl NocFabric {
             return 0;
         }
 
-        let links = self.link_state[noc.index()].len(); // pre-touch for determinism docs
-        let _ = links;
         let mut at = src;
         while let Some(next) = self.mesh.next_hop(at, dst) {
             let state = self.link_state[noc.index()]
@@ -182,7 +180,13 @@ mod tests {
     #[test]
     fn zero_hop_delivery_is_free_of_link_switching() {
         let (mut noc, mut act) = fabric();
-        let lat = noc.send(NocId::Noc1, TileId::new(3), TileId::new(3), &[u64::MAX; 7], &mut act);
+        let lat = noc.send(
+            NocId::Noc1,
+            TileId::new(3),
+            TileId::new(3),
+            &[u64::MAX; 7],
+            &mut act,
+        );
         assert_eq!(lat, 0);
         assert_eq!(act.noc_bit_switches, 0);
         assert_eq!(act.noc_flit_hops, 7);
@@ -194,11 +198,23 @@ mod tests {
         // flit per link after the first flit primes the wires.
         let flits = [u64::MAX, 0, u64::MAX, 0, u64::MAX, 0, u64::MAX];
         let (mut noc, mut act) = fabric();
-        noc.send(NocId::Noc1, TileId::new(0), TileId::new(1), &flits, &mut act);
+        noc.send(
+            NocId::Noc1,
+            TileId::new(0),
+            TileId::new(1),
+            &flits,
+            &mut act,
+        );
         let one_hop = act.noc_bit_switches;
 
         let (mut noc2, mut act2) = fabric();
-        noc2.send(NocId::Noc1, TileId::new(0), TileId::new(4), &flits, &mut act2);
+        noc2.send(
+            NocId::Noc1,
+            TileId::new(0),
+            TileId::new(4),
+            &flits,
+            &mut act2,
+        );
         let four_hops = act2.noc_bit_switches;
         assert_eq!(four_hops, 4 * one_hop);
         assert_eq!(act2.noc_flit_hops, 4 * 7);
@@ -209,7 +225,13 @@ mod tests {
         let flits = [0u64; 7];
         let (mut noc, mut act) = fabric();
         // First packet primes (links start at zero so NSW never switches).
-        noc.send(NocId::Noc1, TileId::new(0), TileId::new(4), &flits, &mut act);
+        noc.send(
+            NocId::Noc1,
+            TileId::new(0),
+            TileId::new(4),
+            &flits,
+            &mut act,
+        );
         assert_eq!(act.noc_bit_switches, 0);
     }
 
@@ -225,21 +247,45 @@ mod tests {
     #[test]
     fn networks_have_independent_wire_state() {
         let (mut noc, mut act) = fabric();
-        noc.send(NocId::Noc1, TileId::new(0), TileId::new(1), &[u64::MAX], &mut act);
+        noc.send(
+            NocId::Noc1,
+            TileId::new(0),
+            TileId::new(1),
+            &[u64::MAX],
+            &mut act,
+        );
         let after_first = act.noc_bit_switches;
         assert_eq!(after_first, 64);
         // Same flit on NoC3: its wires are still at zero, so it switches
         // another 64 bits rather than zero.
-        noc.send(NocId::Noc3, TileId::new(0), TileId::new(1), &[u64::MAX], &mut act);
+        noc.send(
+            NocId::Noc3,
+            TileId::new(0),
+            TileId::new(1),
+            &[u64::MAX],
+            &mut act,
+        );
         assert_eq!(act.noc_bit_switches, 128);
     }
 
     #[test]
     fn quiesce_clears_wires() {
         let (mut noc, mut act) = fabric();
-        noc.send(NocId::Noc1, TileId::new(0), TileId::new(1), &[u64::MAX], &mut act);
+        noc.send(
+            NocId::Noc1,
+            TileId::new(0),
+            TileId::new(1),
+            &[u64::MAX],
+            &mut act,
+        );
         noc.quiesce();
-        noc.send(NocId::Noc1, TileId::new(0), TileId::new(1), &[u64::MAX], &mut act);
+        noc.send(
+            NocId::Noc1,
+            TileId::new(0),
+            TileId::new(1),
+            &[u64::MAX],
+            &mut act,
+        );
         assert_eq!(act.noc_bit_switches, 128); // switched again after reset
     }
 }

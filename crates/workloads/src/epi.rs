@@ -173,15 +173,12 @@ pub fn epi_test(case: EpiCase, pattern: OperandPattern, tile_index: usize) -> Pr
                 asm.nop();
             }
             EpiCase::Plain(op) if op.is_branch() => {
-                // beq taken: an always-true compare targeting the next
-                // instruction; bne not-taken: an always-false compare.
-                if op == Opcode::Beq {
-                    let next = asm.here() + 1;
-                    asm.emit(piton_arch::isa::Instruction::branch(op, SRC_A, SRC_A, next));
-                } else {
-                    let next = asm.here() + 1;
-                    asm.emit(piton_arch::isa::Instruction::branch(op, SRC_A, SRC_A, next));
-                }
+                // Comparing a register with itself makes beq always
+                // taken and bne always fall through; either way the
+                // target is the next instruction, so the emitted
+                // operands are identical for both opcodes.
+                let next = asm.here() + 1;
+                asm.emit(piton_arch::isa::Instruction::branch(op, SRC_A, SRC_A, next));
             }
             EpiCase::Plain(op) => {
                 asm.alu(op, DST, SRC_A, SRC_B);
@@ -268,11 +265,7 @@ mod tests {
     fn run_case(case: EpiCase, cycles: u64) -> piton_sim::events::ActivityCounters {
         let mut m = Machine::new(&ChipConfig::piton());
         for t in 0..25 {
-            m.load_thread(
-                TileId::new(t),
-                0,
-                epi_test(case, OperandPattern::Random, t),
-            );
+            m.load_thread(TileId::new(t), 0, epi_test(case, OperandPattern::Random, t));
         }
         m.run(cycles);
         m.counters().clone()
@@ -334,13 +327,14 @@ mod tests {
         ] {
             let mut m = Machine::new(&ChipConfig::piton());
             for t in 0..25 {
-                m.load_thread(TileId::new(t), 0, epi_test(EpiCase::Plain(Opcode::Add), pattern, t));
+                m.load_thread(
+                    TileId::new(t),
+                    0,
+                    epi_test(EpiCase::Plain(Opcode::Add), pattern, t),
+                );
             }
             m.run(10_000);
-            *out = m
-                .counters()
-                .mean_operand_activity(Opcode::Add)
-                .unwrap();
+            *out = m.counters().mean_operand_activity(Opcode::Add).unwrap();
         }
         assert!(min_act < 0.05, "min activity {min_act}");
         assert!(max_act > 0.9, "max activity {max_act}");

@@ -75,7 +75,9 @@ pub fn scenario_addresses(scenario: MemScenario, l1d: CacheConfig, l2: CacheConf
             // (identical geometry) while all fit in the 64 KB L2.
             let stride = l1d.sets() * l1d.line_bytes;
             let base = region_base(home_tile) + 0x40;
-            (0..(l1d.associativity + 2)).map(|k| base + k * stride).collect()
+            (0..(l1d.associativity + 2))
+                .map(|k| base + k * stride)
+                .collect()
         }
         MemScenario::L2Miss => {
             // Stride = one L2 way (16 KB): same L2 set, > associativity
@@ -83,7 +85,9 @@ pub fn scenario_addresses(scenario: MemScenario, l1d: CacheConfig, l2: CacheConf
             // the L1 way stride, so the L1 thrashes too.)
             let stride = l2.sets() * l2.line_bytes;
             let base = region_base(0) + 0x40;
-            (0..(l2.associativity + 2)).map(|k| base + k * stride).collect()
+            (0..(l2.associativity + 2))
+                .map(|k| base + k * stride)
+                .collect()
         }
     }
 }
@@ -95,7 +99,10 @@ pub fn scenario_addresses(scenario: MemScenario, l1d: CacheConfig, l2: CacheConf
 /// value (the paper's memory-energy results "are based on random data").
 #[must_use]
 pub fn ldx_walker(addresses: &[u64]) -> Program {
-    assert!(!addresses.is_empty() && addresses.len() <= 20, "1..=20 addresses");
+    assert!(
+        !addresses.is_empty() && addresses.len() <= 20,
+        "1..=20 addresses"
+    );
     let mut asm = Assembler::new();
     // Registers r8.. hold the addresses.
     for (i, &addr) in addresses.iter().enumerate() {
@@ -173,7 +180,10 @@ mod tests {
         }
     }
 
-    fn run_scenario(scenario: MemScenario, cycles: u64) -> (piton_sim::events::ActivityCounters, u64) {
+    fn run_scenario(
+        scenario: MemScenario,
+        cycles: u64,
+    ) -> (piton_sim::events::ActivityCounters, u64) {
         let cfg = high_mapped_config();
         let addrs = scenario_addresses(scenario, cfg.l1d, cfg.l2);
         let mut m = Machine::new(&cfg);

@@ -435,7 +435,11 @@ mod tests {
             let expected = (0..h::INPUT_ELEMENTS)
                 .filter(|&i| h::element(i) & (h::BUCKETS - 1) == b)
                 .count() as u64;
-            assert_eq!(m.memsys().peek_mem(h::bucket_addr(b)), expected, "bucket {b}");
+            assert_eq!(
+                m.memsys().peek_mem(h::bucket_addr(b)),
+                expected,
+                "bucket {b}"
+            );
         }
     }
 

@@ -110,19 +110,135 @@ pub fn table_ix_benchmarks() -> Vec<SpecBenchmark> {
     };
     vec![
         //  name                 t2000min  int    mul  br    l1    l2   mem    st    io    os
-        mk("bzip2-chicken", 11.74, 51.60, 1.0, 12.0, 22.0, 5.0, 0.40, 8.0, 0.2, 1.86),
-        mk("bzip2-source", 23.62, 50.00, 1.0, 12.0, 22.0, 5.5, 0.50, 9.0, 0.2, 2.57),
-        mk("gcc-166", 5.72, 45.95, 0.5, 14.0, 23.0, 7.0, 0.55, 9.0, 0.5, 4.97),
-        mk("gcc-200", 9.21, 44.80, 0.5, 14.0, 23.0, 7.0, 0.70, 10.0, 0.5, 6.46),
-        mk("gobmk-13x13", 16.67, 54.15, 1.5, 14.0, 20.0, 3.5, 0.35, 6.5, 0.1, 1.58),
-        mk("h264ref-foreman-baseline", 22.76, 57.90, 3.0, 8.0, 22.0, 2.0, 0.10, 7.0, 0.1, 0.39),
-        mk("hmmer-nph3", 48.38, 50.38, 2.0, 7.0, 30.0, 2.5, 0.12, 8.0, 35.0, 0.69),
-        mk("libquantum", 201.61, 48.50, 1.0, 10.0, 25.0, 5.0, 0.50, 10.0, 20.0, 3.10),
-        mk("omnetpp", 72.94, 41.10, 0.5, 13.0, 24.0, 9.0, 1.40, 11.0, 0.3, 11.38),
-        mk("perlbench-checkspam", 11.57, 42.50, 0.5, 14.0, 24.0, 8.0, 1.00, 10.0, 0.4, 7.09),
-        mk("perlbench-diffmail", 23.13, 42.50, 0.5, 14.0, 24.0, 8.0, 1.00, 10.0, 0.4, 7.03),
-        mk("sjeng", 122.07, 54.05, 1.0, 15.0, 19.0, 3.6, 0.35, 7.0, 0.1, 1.56),
-        mk("xalancbmk", 102.99, 42.50, 0.5, 14.0, 25.0, 7.5, 0.90, 9.6, 0.3, 5.28),
+        mk(
+            "bzip2-chicken",
+            11.74,
+            51.60,
+            1.0,
+            12.0,
+            22.0,
+            5.0,
+            0.40,
+            8.0,
+            0.2,
+            1.86,
+        ),
+        mk(
+            "bzip2-source",
+            23.62,
+            50.00,
+            1.0,
+            12.0,
+            22.0,
+            5.5,
+            0.50,
+            9.0,
+            0.2,
+            2.57,
+        ),
+        mk(
+            "gcc-166", 5.72, 45.95, 0.5, 14.0, 23.0, 7.0, 0.55, 9.0, 0.5, 4.97,
+        ),
+        mk(
+            "gcc-200", 9.21, 44.80, 0.5, 14.0, 23.0, 7.0, 0.70, 10.0, 0.5, 6.46,
+        ),
+        mk(
+            "gobmk-13x13",
+            16.67,
+            54.15,
+            1.5,
+            14.0,
+            20.0,
+            3.5,
+            0.35,
+            6.5,
+            0.1,
+            1.58,
+        ),
+        mk(
+            "h264ref-foreman-baseline",
+            22.76,
+            57.90,
+            3.0,
+            8.0,
+            22.0,
+            2.0,
+            0.10,
+            7.0,
+            0.1,
+            0.39,
+        ),
+        mk(
+            "hmmer-nph3",
+            48.38,
+            50.38,
+            2.0,
+            7.0,
+            30.0,
+            2.5,
+            0.12,
+            8.0,
+            35.0,
+            0.69,
+        ),
+        mk(
+            "libquantum",
+            201.61,
+            48.50,
+            1.0,
+            10.0,
+            25.0,
+            5.0,
+            0.50,
+            10.0,
+            20.0,
+            3.10,
+        ),
+        mk(
+            "omnetpp", 72.94, 41.10, 0.5, 13.0, 24.0, 9.0, 1.40, 11.0, 0.3, 11.38,
+        ),
+        mk(
+            "perlbench-checkspam",
+            11.57,
+            42.50,
+            0.5,
+            14.0,
+            24.0,
+            8.0,
+            1.00,
+            10.0,
+            0.4,
+            7.09,
+        ),
+        mk(
+            "perlbench-diffmail",
+            23.13,
+            42.50,
+            0.5,
+            14.0,
+            24.0,
+            8.0,
+            1.00,
+            10.0,
+            0.4,
+            7.03,
+        ),
+        mk(
+            "sjeng", 122.07, 54.05, 1.0, 15.0, 19.0, 3.6, 0.35, 7.0, 0.1, 1.56,
+        ),
+        mk(
+            "xalancbmk",
+            102.99,
+            42.50,
+            0.5,
+            14.0,
+            25.0,
+            7.5,
+            0.90,
+            9.6,
+            0.3,
+            5.28,
+        ),
     ]
 }
 
@@ -214,9 +330,7 @@ pub fn spec_kernel(profile: &SpecProfile) -> Program {
     let n_int_rem = n_int.saturating_sub(addr_gen);
 
     const SLICES: usize = 25;
-    let share = |count: usize, slice: usize| {
-        count * (slice + 1) / SLICES - count * slice / SLICES
-    };
+    let share = |count: usize, slice: usize| count * (slice + 1) / SLICES - count * slice / SLICES;
 
     asm.label("loop");
     for slice in 0..SLICES {
@@ -411,7 +525,11 @@ mod tests {
     #[test]
     fn memory_bound_kernel_has_much_higher_cpi() {
         let benches = table_ix_benchmarks();
-        let omnetpp = &benches.iter().find(|b| b.name == "omnetpp").unwrap().profile;
+        let omnetpp = &benches
+            .iter()
+            .find(|b| b.name == "omnetpp")
+            .unwrap()
+            .profile;
         let h264 = &benches
             .iter()
             .find(|b| b.name == "h264ref-foreman-baseline")
@@ -429,7 +547,11 @@ mod tests {
     #[test]
     fn kernel_miss_rates_track_profile() {
         let benches = table_ix_benchmarks();
-        let omnetpp = &benches.iter().find(|b| b.name == "omnetpp").unwrap().profile;
+        let omnetpp = &benches
+            .iter()
+            .find(|b| b.name == "omnetpp")
+            .unwrap()
+            .profile;
         let mut m = Machine::new(&ChipConfig::piton());
         m.load_thread(TileId::new(0), 0, spec_kernel(omnetpp));
         m.run(200_000);

@@ -16,8 +16,10 @@ fn facade_reexports_compose() {
     let m = sys.measure(8);
     assert!(m.total.mean > Watts(1.0));
     let model: &PowerModel = sys.power_model();
-    let mut idle = ActivityCounters::default();
-    idle.cycles = 10_000;
+    let idle = ActivityCounters {
+        cycles: 10_000,
+        ..Default::default()
+    };
     let p = model.power(&idle, OperatingPoint::table_iii());
     assert!(p.vdd > Watts(0.0) && p.vcs > Watts(0.0) && p.vio > Watts(0.0));
 }
@@ -63,6 +65,7 @@ fn csv_and_render_agree_on_row_counts() {
         samples: 4,
         chunk_cycles: 1_000,
         warmup_cycles: 4_000,
+        jobs: 2,
     });
     let csv = r.to_csv();
     // header + 4 patterns x 9 hop points

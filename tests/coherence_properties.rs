@@ -11,9 +11,21 @@ use piton::sim::memsys::MemorySystem;
 
 #[derive(Debug, Clone)]
 enum Op {
-    Load { tile: usize, addr: u64 },
-    Store { tile: usize, addr: u64, value: u64 },
-    Cas { tile: usize, addr: u64, expected: u64, new: u64 },
+    Load {
+        tile: usize,
+        addr: u64,
+    },
+    Store {
+        tile: usize,
+        addr: u64,
+        value: u64,
+    },
+    Cas {
+        tile: usize,
+        addr: u64,
+        expected: u64,
+        new: u64,
+    },
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
@@ -26,8 +38,11 @@ fn op_strategy() -> impl Strategy<Value = Op> {
     let tile = 0usize..25;
     prop_oneof![
         (tile.clone(), addr.clone()).prop_map(|(tile, addr)| Op::Load { tile, addr }),
-        (tile.clone(), addr.clone(), any::<u64>())
-            .prop_map(|(tile, addr, value)| Op::Store { tile, addr, value }),
+        (tile.clone(), addr.clone(), any::<u64>()).prop_map(|(tile, addr, value)| Op::Store {
+            tile,
+            addr,
+            value
+        }),
         (tile, addr, 0u64..4, any::<u64>()).prop_map(|(tile, addr, expected, new)| Op::Cas {
             tile,
             addr,
@@ -125,4 +140,33 @@ proptest! {
         prop_assert!(act.dram_accesses >= 2 * act.offchip_requests);
         prop_assert_eq!(act.l2_misses, act.offchip_requests);
     }
+}
+
+/// Explicit replay of the shrunk input recorded in
+/// `tests/coherence_properties.proptest-regressions`:
+///
+/// ```text
+/// ops = [Store { tile: 3, addr: 8388800, value: 0 }, Load { tile: 14, addr: 8388800 }]
+/// ```
+///
+/// The vendored proptest stub does not replay regression files, so the
+/// recorded input is pinned here as a plain test: a store of zero from
+/// tile 3 into the 0x80_0000 region must be observed by a remote load
+/// from tile 14 — a stored zero exercises the directory state exactly
+/// like any other value even though the loaded value matches the
+/// never-written default.
+#[test]
+fn regression_remote_load_observes_stored_zero() {
+    let mut sys = MemorySystem::new(&ChipConfig::piton());
+    let mut act = ActivityCounters::default();
+    let mut now = 0u64;
+    let addr = 8_388_800; // 0x80_0040
+
+    let lat = sys.store_drain(TileId::new(3), addr, 0, now, &mut act);
+    assert!(sys.coherence_ok(addr), "coherence violated after store");
+    now += lat + 1;
+
+    let out = sys.load(TileId::new(14), addr, now, &mut act);
+    assert_eq!(out.value, 0, "remote load must see the stored value");
+    assert!(sys.coherence_ok(addr), "coherence violated after load");
 }

@@ -75,7 +75,10 @@ fn l2_capacity_eviction_invalidates_private_copies() {
         .iter()
         .filter(|&&a| sys.l15_state(t0, a).is_some())
         .count();
-    assert!(resident <= 4, "inclusive eviction failed: {resident} resident");
+    assert!(
+        resident <= 4,
+        "inclusive eviction failed: {resident} resident"
+    );
     // The last line is definitely still resident everywhere.
     assert!(sys.l15_state(t0, *addrs.last().unwrap()).is_some());
 }
@@ -94,7 +97,10 @@ fn memory_path_services_in_fifo_order() {
     let done3 = 5_000 + l3;
     assert!(done1 < done2, "{done1} {done2}");
     assert!(done2 < done3);
-    assert!(l3 < 420, "third request arrived after idle, must be unqueued");
+    assert!(
+        l3 < 420,
+        "third request arrived after idle, must be unqueued"
+    );
     assert_eq!(path.serviced_requests(), 3);
 }
 
@@ -135,7 +141,10 @@ fn membar_with_empty_buffer_is_cheap() {
     assert!(m.run_until_halted(1_000));
     // With nothing to drain, each membar occupies only its base latency.
     let occ = m.counters().occupancy_cycles[Opcode::Membar.index()];
-    assert!(occ <= 2 * Opcode::Membar.base_latency(), "membar occupancy {occ}");
+    assert!(
+        occ <= 2 * Opcode::Membar.base_latency(),
+        "membar occupancy {occ}"
+    );
 }
 
 #[test]
@@ -163,13 +172,21 @@ fn store_to_same_line_from_two_tiles_ping_pongs_ownership() {
     let t2 = TileId::new(17);
     let mut now = 0;
     for round in 0..6 {
-        let (writer, value) = if round % 2 == 0 { (t1, round) } else { (t2, round) };
+        let (writer, value) = if round % 2 == 0 {
+            (t1, round)
+        } else {
+            (t2, round)
+        };
         now += sys.store_drain(writer, a, value, now, &mut act) + 1;
         assert!(sys.coherence_ok(a));
         assert_eq!(sys.peek_mem(a), value);
     }
     // Each ownership transfer invalidates the previous owner.
-    assert!(act.invalidations >= 5, "invalidations {}", act.invalidations);
+    assert!(
+        act.invalidations >= 5,
+        "invalidations {}",
+        act.invalidations
+    );
 }
 
 #[test]

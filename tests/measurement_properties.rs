@@ -52,8 +52,10 @@ proptest! {
         adds in 0u64..10_000_000,
     ) {
         let model = PowerModel::nominal();
-        let mut act = ActivityCounters::default();
-        act.cycles = 1_000_000;
+        let mut act = ActivityCounters {
+            cycles: 1_000_000,
+            ..Default::default()
+        };
         act.issues[Opcode::Add.index()] = adds;
         act.operand_activity[Opcode::Add.index()] = adds as f64 * 0.5;
 
@@ -116,4 +118,33 @@ proptest! {
             prop_assert!(p_swept.vcs.0 <= p_base.vcs.0);
         }
     }
+}
+
+/// Explicit replay of the shrunk input recorded in
+/// `tests/measurement_properties.proptest-regressions`:
+///
+/// ```text
+/// p_mw = 1417.6274120739997, eff = 0.0
+/// ```
+///
+/// The vendored proptest stub does not replay regression files, so the
+/// recorded input is pinned here as a plain test: with a completely
+/// ineffective fan (effectiveness = 0), the thermal transient must
+/// still converge monotonically to the (much hotter) steady state and
+/// never overshoot it from below.
+#[test]
+fn regression_thermal_transient_converges_with_dead_fan() {
+    let p = Watts(1_417.627_412_073_999_7 / 1e3);
+    let mut t = ThermalModel::new(Cooling::BarePackageFan { effectiveness: 0.0 }, 20.0);
+    let (j_ss, s_ss) = t.steady_state(p);
+    let mut prev_gap = f64::MAX;
+    for _ in 0..300 {
+        t.step(p, Seconds(5.0));
+        let gap = (t.junction_c() - j_ss).abs();
+        assert!(gap <= prev_gap + 1e-6, "diverging transient");
+        prev_gap = gap;
+        assert!(t.junction_c() <= j_ss + 0.5);
+        assert!(t.surface_c() <= s_ss + 0.5);
+    }
+    assert!((t.junction_c() - j_ss).abs() < 1.0);
 }

@@ -1,0 +1,42 @@
+//! The parallel sweep runner must never change results: every
+//! experiment collects grid points by index, so rendered tables and CSV
+//! exports are byte-identical at every `jobs` level. These tests pin
+//! that guarantee — any accidental order- or thread-dependence in an
+//! experiment shows up as a byte diff here.
+
+use piton::characterization::experiments::{core_scaling, epi, noc_energy, Fidelity};
+
+/// A deliberately tiny fidelity: determinism does not depend on sample
+/// counts, so keep the simulated work minimal.
+fn tiny(jobs: usize) -> Fidelity {
+    Fidelity {
+        samples: 4,
+        chunk_cycles: 1_000,
+        warmup_cycles: 4_000,
+        jobs,
+    }
+}
+
+#[test]
+fn noc_energy_is_byte_identical_across_jobs_levels() {
+    let serial = noc_energy::run(tiny(1));
+    let parallel = noc_energy::run(tiny(4));
+    assert_eq!(serial.render(), parallel.render());
+    assert_eq!(serial.to_csv(), parallel.to_csv());
+}
+
+#[test]
+fn epi_is_byte_identical_across_jobs_levels() {
+    let serial = epi::run(tiny(1));
+    let parallel = epi::run(tiny(8));
+    assert_eq!(serial.render(), parallel.render());
+    assert_eq!(serial.to_csv(), parallel.to_csv());
+}
+
+#[test]
+fn core_scaling_is_byte_identical_across_jobs_levels() {
+    let cores = [1usize, 9, 25];
+    let serial = core_scaling::run_with_cores(&cores, tiny(1));
+    let parallel = core_scaling::run_with_cores(&cores, tiny(3));
+    assert_eq!(serial.render(), parallel.render());
+}

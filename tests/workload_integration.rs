@@ -72,10 +72,9 @@ fn spec_kernels_execute_their_declared_mixes() {
         let act = m.counters();
         let total = act.total_issues() as f64;
         let loads = act.issues[Opcode::Ldx.index()] as f64;
-        let declared_loads = (bench.profile.l1_load_pct
-            + bench.profile.l2_load_pct
-            + bench.profile.mem_load_pct)
-            / 100.0;
+        let declared_loads =
+            (bench.profile.l1_load_pct + bench.profile.l2_load_pct + bench.profile.mem_load_pct)
+                / 100.0;
         let measured = loads / total;
         assert!(
             (measured - declared_loads).abs() < 0.12,

@@ -1,0 +1,140 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! provides exactly the deterministic subset of the `rand` 0.8 API the
+//! workspace uses: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`] and
+//! [`Rng::gen_range`] over `f64` ranges. The generator is SplitMix64 —
+//! a small, well-distributed PRNG that is more than adequate for the
+//! measurement-noise and process-variation sampling done here. It is
+//! *not* the upstream ChaCha-based `StdRng`, so streams differ from the
+//! real crate; all consumers in this workspace seed explicitly and only
+//! rely on determinism, not on a particular stream.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// A type that can be sampled uniformly from a half-open range.
+pub trait SampleUniform: Sized {
+    /// Draws a sample in `[range.start, range.end)` from `rng`.
+    fn sample_in(range: &Range<Self>, rng: &mut dyn RngCore) -> Self;
+}
+
+impl SampleUniform for f64 {
+    fn sample_in(range: &Range<Self>, rng: &mut dyn RngCore) -> Self {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        range.start + unit * (range.end - range.start)
+    }
+}
+
+impl SampleUniform for u64 {
+    fn sample_in(range: &Range<Self>, rng: &mut dyn RngCore) -> Self {
+        let span = range.end - range.start;
+        assert!(span > 0, "empty range");
+        // Modulo bias is negligible for the spans used here.
+        range.start + rng.next_u64() % span
+    }
+}
+
+impl SampleUniform for usize {
+    fn sample_in(range: &Range<Self>, rng: &mut dyn RngCore) -> Self {
+        let r = (range.start as u64)..(range.end as u64);
+        u64::sample_in(&r, rng) as usize
+    }
+}
+
+/// Core entropy source: a stream of `u64`s.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// High-level sampling helpers, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Uniform sample in the half-open `range`.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_in(&range, self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Construction from seeds, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic stand-in for `rand::rngs::StdRng` (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            Self { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea, Flood 2014).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(
+                a.gen_range(0.0..1.0).to_bits(),
+                b.gen_range(0.0..1.0).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn unit_range_stays_in_bounds_and_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut sum = 0.0;
+        const N: usize = 100_000;
+        for _ in 0..N {
+            let x: f64 = rng.gen_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / N as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn signed_range_is_centred() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut sum = 0.0;
+        for _ in 0..100_000 {
+            sum += rng.gen_range(-1.0..1.0);
+        }
+        assert!(sum.abs() / 100_000.0 < 0.02);
+    }
+}

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on result structs so
+//! they stay export-ready, but nothing in-tree performs serialization —
+//! there is no `serde_json` (or any other format crate) in the
+//! dependency graph. With the registry unreachable at build time, this
+//! vendored crate supplies the marker traits and re-exports the no-op
+//! derive macros from the companion `serde_derive` stub, keeping every
+//! `#[derive(Serialize, Deserialize)]` compiling without pulling in the
+//! real implementation.
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

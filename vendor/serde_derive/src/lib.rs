@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Emits empty token streams: the workspace's derives are declarative
+//! (the structs are export-ready data carriers) and no code path
+//! requires an actual `Serialize`/`Deserialize` implementation, so a
+//! no-op derive keeps every annotated type compiling without the real
+//! (registry-only) proc-macro stack.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
