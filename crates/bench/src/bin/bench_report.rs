@@ -1,0 +1,365 @@
+//! Bench-report mode: times representative simulator sections and writes
+//! a `BENCH_<date>.json` so the performance trajectory is tracked across
+//! PRs.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p piton-bench --bin bench_report               # full fidelity
+//! cargo run --release -p piton-bench --bin bench_report -- quick      # reduced fidelity
+//! cargo run --release -p piton-bench --bin bench_report -- --out=F    # output path
+//! ```
+//!
+//! Three sections cover the engine's distinct regimes:
+//!
+//! * `epi_single_tile` — the Figure 11 EPI tests on one of 25 tiles: the
+//!   partially-idle case the event-driven scheduler exists for.
+//! * `core_scaling_25` — all 25 tiles busy (a Figure 13 end point): the
+//!   saturated case, bounding scheduler overhead.
+//! * `noc_traffic` — the Figure 12 chipset-driven invalidation stream:
+//!   the flat directed-link state arrays' hot loop.
+//!
+//! When built with `--features naive-engine`, each section is also timed
+//! against its seed ("baseline") implementation — the per-cycle-polling
+//! `Machine::run_naive` for the first two, the `HashMap`-backed
+//! `ReferenceNocFabric` for the third — and the JSON records the
+//! speedup. Both implementations produce identical counters (pinned by
+//! the equivalence tests in `piton-sim`), so the comparison is pure
+//! engine cost.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use piton_arch::config::ChipConfig;
+use piton_arch::isa::OperandPattern;
+use piton_arch::topology::TileId;
+use piton_core::experiments::Fidelity;
+use piton_sim::machine::{Machine, SwitchPattern};
+use piton_workloads::epi::{epi_test, EpiCase};
+
+/// One timed section of the report.
+struct Section {
+    name: &'static str,
+    description: &'static str,
+    simulated_cycles: u64,
+    wall_s: f64,
+    /// `(baseline kind, baseline wall seconds)` when the naive/reference
+    /// implementations are compiled in.
+    baseline: Option<(&'static str, f64)>,
+}
+
+impl Section {
+    fn mcps(&self) -> f64 {
+        self.simulated_cycles as f64 / self.wall_s / 1e6
+    }
+
+    fn speedup(&self) -> Option<f64> {
+        self.baseline.map(|(_, b)| b / self.wall_s)
+    }
+}
+
+/// Cycles driven per measured machine: the experiment stack's warmup
+/// plus `samples` measurement chunks (mirroring `PitonSystem::measure`).
+fn section_cycles(f: &Fidelity) -> u64 {
+    f.warmup_cycles + f.samples as u64 * f.chunk_cycles
+}
+
+/// Runs `machine` through the standard warmup + chunked measurement
+/// cycle pattern using the selected engine.
+fn drive(m: &mut Machine, f: &Fidelity, naive: bool) {
+    let _ = naive;
+    #[cfg(feature = "naive-engine")]
+    if naive {
+        m.run_naive(f.warmup_cycles);
+        for _ in 0..f.samples {
+            m.run_naive(f.chunk_cycles);
+        }
+        return;
+    }
+    m.run(f.warmup_cycles);
+    for _ in 0..f.samples {
+        m.run(f.chunk_cycles);
+    }
+}
+
+/// The Figure 11 EPI tests (random operands), each on tile 0 only: 24
+/// of 25 cores stay idle, the regime the ready calendar accelerates.
+fn epi_single_tile_machines() -> Vec<Machine> {
+    EpiCase::figure_11()
+        .into_iter()
+        .map(|case| {
+            let mut m = Machine::new(&ChipConfig::piton());
+            m.load_thread(TileId::new(0), 0, epi_test(case, OperandPattern::Random, 0));
+            m
+        })
+        .collect()
+}
+
+fn time_engine_section(
+    f: &Fidelity,
+    machines: impl Fn() -> Vec<Machine>,
+    naive: bool,
+) -> (u64, f64) {
+    let mut ms = machines();
+    let cycles = section_cycles(f) * ms.len() as u64;
+    let start = Instant::now();
+    for m in &mut ms {
+        drive(m, f, naive);
+    }
+    let wall = start.elapsed().as_secs_f64();
+    // The engines must agree; spot-check the workload actually ran.
+    assert!(ms.iter().all(|m| m.counters().cycles >= section_cycles(f)));
+    (cycles, wall)
+}
+
+fn epi_single_tile(f: &Fidelity) -> Section {
+    let (cycles, wall) = time_engine_section(f, epi_single_tile_machines, false);
+    let baseline = baseline_engine_wall(f, epi_single_tile_machines);
+    Section {
+        name: "epi_single_tile",
+        description: "Figure 11 EPI tests on 1 of 25 tiles (partially-idle scheduling)",
+        simulated_cycles: cycles,
+        wall_s: wall,
+        baseline,
+    }
+}
+
+/// The 25-core scaling end point: every core runs the Int EPI test.
+fn core_scaling_machines() -> Vec<Machine> {
+    let mut m = Machine::new(&ChipConfig::piton());
+    for t in 0..25 {
+        m.load_thread(
+            TileId::new(t),
+            0,
+            epi_test(
+                EpiCase::Plain(piton_arch::isa::Opcode::Add),
+                OperandPattern::Random,
+                t,
+            ),
+        );
+    }
+    vec![m]
+}
+
+fn core_scaling_25(f: &Fidelity) -> Section {
+    let (cycles, wall) = time_engine_section(f, core_scaling_machines, false);
+    let baseline = baseline_engine_wall(f, core_scaling_machines);
+    Section {
+        name: "core_scaling_25",
+        description: "add EPI test on all 25 tiles (saturated scheduling, Figure 13 end point)",
+        simulated_cycles: cycles,
+        wall_s: wall,
+        baseline,
+    }
+}
+
+#[cfg(feature = "naive-engine")]
+fn baseline_engine_wall(
+    f: &Fidelity,
+    machines: impl Fn() -> Vec<Machine>,
+) -> Option<(&'static str, f64)> {
+    let (_, wall) = time_engine_section(f, machines, true);
+    Some(("naive-engine", wall))
+}
+
+#[cfg(not(feature = "naive-engine"))]
+fn baseline_engine_wall(
+    _f: &Fidelity,
+    _machines: impl Fn() -> Vec<Machine>,
+) -> Option<(&'static str, f64)> {
+    None
+}
+
+/// The Figure 12 grid: 4 switch patterns x hops 0..=8 of chipset-driven
+/// invalidation traffic.
+fn noc_traffic(f: &Fidelity) -> Section {
+    let mesh = piton_arch::topology::Mesh::piton();
+    let mut grid: Vec<(SwitchPattern, TileId)> = Vec::new();
+    for &p in &SwitchPattern::ALL {
+        for hops in 0..=8usize {
+            grid.push((
+                p,
+                mesh.tile_at_distance(TileId::new(0), hops)
+                    .expect("5x5 mesh covers 0..=8 hops"),
+            ));
+        }
+    }
+    let per_point = f.warmup_cycles / 4 + f.samples as u64 * f.chunk_cycles;
+    let cycles = per_point * grid.len() as u64;
+
+    let start = Instant::now();
+    let mut flit_hops = 0;
+    for &(pattern, dst) in &grid {
+        let mut m = Machine::new(&ChipConfig::piton());
+        m.run_invalidation_traffic(dst, pattern, per_point);
+        flit_hops += m.counters().noc_flit_hops;
+    }
+    let wall = start.elapsed().as_secs_f64();
+    assert!(flit_hops > 0);
+
+    Section {
+        name: "noc_traffic",
+        description:
+            "Figure 12 invalidation streams, 4 patterns x 9 hop counts (NoC link-state hot loop)",
+        simulated_cycles: cycles,
+        wall_s: wall,
+        baseline: reference_noc_wall(f, &grid, flit_hops),
+    }
+}
+
+/// Times the same Figure 12 flit stream against the seed
+/// `HashMap`-backed fabric (identical accounting, pinned by the
+/// `piton-sim` equivalence test).
+#[cfg(feature = "naive-engine")]
+fn reference_noc_wall(
+    f: &Fidelity,
+    grid: &[(SwitchPattern, TileId)],
+    expect_flit_hops: u64,
+) -> Option<(&'static str, f64)> {
+    use piton_sim::events::ActivityCounters;
+    use piton_sim::machine::{BRIDGE_PATTERN_CYCLES, BRIDGE_PATTERN_FLITS};
+    use piton_sim::noc::{NocId, ReferenceNocFabric};
+
+    let per_point = f.warmup_cycles / 4 + f.samples as u64 * f.chunk_cycles;
+    let start = Instant::now();
+    let mut flit_hops = 0;
+    for &(pattern, dst) in grid {
+        let mut noc = ReferenceNocFabric::new(piton_arch::topology::Mesh::piton());
+        let mut act = ActivityCounters::default();
+        let (even, odd) = pattern.flit_pair();
+        let entry = TileId::new(0);
+        let mut flit_toggle = false;
+        let mut now = 0;
+        while now < per_point {
+            let mut flits = Vec::with_capacity(BRIDGE_PATTERN_FLITS);
+            flits.push(dst.index() as u64);
+            for _ in 0..BRIDGE_PATTERN_FLITS - 1 {
+                flits.push(if flit_toggle { odd } else { even });
+                flit_toggle = !flit_toggle;
+            }
+            noc.send(NocId::Noc2, entry, dst, &flits, &mut act);
+            now += BRIDGE_PATTERN_CYCLES.min(per_point - now);
+        }
+        flit_hops += act.noc_flit_hops;
+    }
+    let wall = start.elapsed().as_secs_f64();
+    assert_eq!(flit_hops, expect_flit_hops, "reference stream diverged");
+    Some(("hashmap-noc", wall))
+}
+
+#[cfg(not(feature = "naive-engine"))]
+fn reference_noc_wall(
+    _f: &Fidelity,
+    _grid: &[(SwitchPattern, TileId)],
+    _expect_flit_hops: u64,
+) -> Option<(&'static str, f64)> {
+    None
+}
+
+/// Civil date from days since the Unix epoch (Howard Hinnant's
+/// algorithm; avoids a calendar dependency).
+fn civil_from_unix_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (yoe + era * 400 + i64::from(m <= 2), m, d)
+}
+
+fn today() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let (y, m, d) = civil_from_unix_days((secs / 86_400) as i64);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+fn json_f64(v: f64) -> String {
+    // Stable, readable fixed precision for wall-clock seconds/rates.
+    format!("{v:.6}")
+}
+
+fn render_json(date: &str, fidelity_label: &str, sections: &[Section]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"piton-bench-report/v1\",");
+    let _ = writeln!(out, "  \"date\": \"{date}\",");
+    let _ = writeln!(out, "  \"fidelity\": \"{fidelity_label}\",");
+    let _ = writeln!(
+        out,
+        "  \"baselines_compiled\": {},",
+        cfg!(feature = "naive-engine")
+    );
+    out.push_str("  \"sections\": [\n");
+    for (i, s) in sections.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"name\": \"{}\",", s.name);
+        let _ = writeln!(out, "      \"description\": \"{}\",", s.description);
+        let _ = writeln!(out, "      \"simulated_cycles\": {},", s.simulated_cycles);
+        let _ = writeln!(out, "      \"wall_s\": {},", json_f64(s.wall_s));
+        let _ = writeln!(out, "      \"mcycles_per_s\": {},", json_f64(s.mcps()));
+        match (s.baseline, s.speedup()) {
+            (Some((kind, wall)), Some(speedup)) => {
+                let _ = writeln!(out, "      \"baseline\": \"{kind}\",");
+                let _ = writeln!(out, "      \"baseline_wall_s\": {},", json_f64(wall));
+                let _ = writeln!(out, "      \"speedup_vs_baseline\": {}", json_f64(speedup));
+            }
+            _ => {
+                let _ = writeln!(out, "      \"baseline\": null");
+            }
+        }
+        out.push_str(if i + 1 == sections.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "quick");
+    let fidelity = if quick {
+        Fidelity::quick()
+    } else {
+        Fidelity::full()
+    };
+    let fidelity_label = if quick { "quick" } else { "full" };
+    let date = today();
+    let out_path = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--out=").map(String::from))
+        .unwrap_or_else(|| format!("BENCH_{date}.json"));
+
+    eprintln!("bench_report: {fidelity_label} fidelity -> {out_path}");
+    let mut sections = Vec::new();
+    for (run, label) in [
+        (
+            epi_single_tile as fn(&Fidelity) -> Section,
+            "epi_single_tile",
+        ),
+        (core_scaling_25, "core_scaling_25"),
+        (noc_traffic, "noc_traffic"),
+    ] {
+        let s = run(&fidelity);
+        match (s.baseline, s.speedup()) {
+            (Some((kind, b)), Some(x)) => eprintln!(
+                "  {label:<16} {:>9.3}s  ({:.1} Mcyc/s; {kind} {b:.3}s, {x:.2}x)",
+                s.wall_s,
+                s.mcps()
+            ),
+            _ => eprintln!("  {label:<16} {:>9.3}s  ({:.1} Mcyc/s)", s.wall_s, s.mcps()),
+        }
+        sections.push(s);
+    }
+
+    let json = render_json(&date, fidelity_label, &sections);
+    std::fs::write(&out_path, json).expect("write bench report");
+    eprintln!("wrote {out_path}");
+}

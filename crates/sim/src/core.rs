@@ -264,6 +264,16 @@ impl Core {
             .min()
     }
 
+    /// Whether the store buffer still holds entries to drain. The
+    /// event-driven machine must keep stepping such a core every cycle —
+    /// even when no thread can issue — so its background drains reach
+    /// the memory system at the same cycles, in the same core order, as
+    /// under per-cycle polling.
+    #[must_use]
+    pub fn has_pending_stores(&self) -> bool {
+        !self.store_buffer.entries.is_empty()
+    }
+
     /// Number of running threads held by a memory-system wait at `now`
     /// (the machine's fast-forward path charges these per skipped
     /// cycle).

@@ -1,0 +1,118 @@
+//! Fast deterministic hashing for hot-path lookup tables.
+//!
+//! `std`'s default `HashMap` hasher is SipHash-1-3: DoS-resistant, but an
+//! order of magnitude slower than necessary for the simulator's internal
+//! tables, which hash attacker-free `u64` keys (line addresses, word
+//! addresses) millions of times per simulated second. [`FxHasher`] is the
+//! multiply-rotate-xor hash used by the Rust compiler's own interning
+//! tables: a single rotate/xor/multiply per 8-byte chunk, fully
+//! deterministic across runs and platforms, which keeps table iteration
+//! irrelevant (none of the simulator's maps are iterated) and results
+//! reproducible.
+//!
+//! # Examples
+//!
+//! ```
+//! use piton_sim::fastmap::FastMap;
+//!
+//! let mut dir: FastMap<u64, &str> = FastMap::default();
+//! dir.insert(0x1000, "line");
+//! assert_eq!(dir.get(&0x1000), Some(&"line"));
+//! ```
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` keyed by the fast deterministic [`FxHasher`].
+pub type FastMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// The multiplicative constant of the Fx hash (the 64-bit golden-ratio
+/// constant, as used by rustc's `FxHasher`).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, deterministic, non-cryptographic hasher (rustc's Fx hash).
+///
+/// Not DoS-resistant — only for maps whose keys the simulator itself
+/// generates.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write_u64(0xdead_beef);
+        b.write_u64(0xdead_beef);
+        assert_eq!(a.finish(), b.finish());
+        assert_ne!(a.finish(), 0);
+    }
+
+    #[test]
+    fn byte_stream_matches_word_stream_for_aligned_input() {
+        let mut a = FxHasher::default();
+        a.write(&0x0123_4567_89ab_cdefu64.to_le_bytes());
+        let mut b = FxHasher::default();
+        b.write_u64(0x0123_4567_89ab_cdef);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn map_round_trips() {
+        let mut m: FastMap<u64, u64> = FastMap::default();
+        for k in 0..1000u64 {
+            m.insert(k * 8, k);
+        }
+        for k in 0..1000u64 {
+            assert_eq!(m.get(&(k * 8)), Some(&k));
+        }
+        assert_eq!(m.len(), 1000);
+    }
+}

@@ -45,6 +45,7 @@ pub mod cache;
 pub mod chipset;
 pub mod core;
 pub mod events;
+pub mod fastmap;
 pub mod machine;
 pub mod mem;
 pub mod memsys;

@@ -2,9 +2,23 @@
 //! global cycle loop.
 //!
 //! [`Machine`] is the simulator's top level. Workloads are loaded onto
-//! hardware threads, the machine is stepped for a number of cycles (with
-//! dead-cycle fast-forwarding when every thread is stalled), and the
-//! resulting [`ActivityCounters`] window is handed to the power model.
+//! hardware threads, the machine is stepped for a number of cycles, and
+//! the resulting [`ActivityCounters`] window is handed to the power
+//! model.
+//!
+//! The cycle loop is *event-driven*: a per-core ready calendar (min-heap
+//! over each core's `next_ready_at`) means only cores that can issue at
+//! `now` — plus cores with store-buffer drains in flight — are stepped
+//! each cycle; all other cores' per-cycle charges (`core_active_cycles`,
+//! `mem_stall_cycles`) are accrued in bulk at cached rates, which are
+//! constant over any window in which a core cannot issue. Cycles where
+//! no core can issue are fast-forwarded in one jump. This generalizes
+//! the old all-stalled-only fast-forward to the common partially-idle
+//! case (e.g. the single-tile EPI tests, where 24 of 25 cores are idle)
+//! while remaining counter-for-counter identical to the naive
+//! step-everything engine, which is kept as [`Machine::run_naive`]
+//! behind `cfg(any(test, feature = "naive-engine"))` and pinned by an
+//! equivalence property test.
 //!
 //! The machine also exposes the chipset-side dummy-packet injector used
 //! by the NoC energy study of §IV-G (Figure 12): the real experiment
@@ -30,6 +44,8 @@
 //! assert_eq!(m.counters().issues.iter().sum::<u64>(), 2);
 //! ```
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 use piton_arch::config::ChipConfig;
@@ -93,6 +109,38 @@ impl SwitchPattern {
     }
 }
 
+/// Cached per-core scheduling state for the event-driven engine: the
+/// charge profile of a core over a window in which it does not issue.
+///
+/// `Core::step` charges a running core one `core_active_cycles` and one
+/// `mem_stall_cycles` per memory-waiting thread every cycle. Between a
+/// core's issues, its thread states are frozen (every running thread has
+/// `busy_until` beyond the window), so both rates are constants that can
+/// be accrued in bulk without stepping the core.
+#[derive(Debug, Clone, Copy)]
+struct CoreSched {
+    /// Earliest cycle a thread of this core can issue (`None`: no
+    /// running thread).
+    ready_at: Option<u64>,
+    /// 1 if any thread is running (the per-cycle active charge).
+    active: u64,
+    /// Running threads held by a memory-system wait (the per-cycle
+    /// memory-stall charge).
+    mem_wait: u64,
+}
+
+impl CoreSched {
+    /// Snapshots a core's charge profile just after it was stepped at
+    /// `now` (or at engine start).
+    fn of(core: &Core, now: u64) -> Self {
+        Self {
+            ready_at: core.next_ready_at(),
+            active: u64::from(core.any_running()),
+            mem_wait: core.memory_waiting_threads(now),
+        }
+    }
+}
+
 /// The simulated Piton chip.
 #[derive(Debug, Clone)]
 pub struct Machine {
@@ -101,6 +149,11 @@ pub struct Machine {
     memsys: MemorySystem,
     act: ActivityCounters,
     now: u64,
+    /// Total `Core::step` calls made by the engine — a scheduler
+    /// diagnostic (not part of [`ActivityCounters`]): the event-driven
+    /// engine's value stays proportional to *busy* core-cycles, where
+    /// the naive engine's grows with `cores × cycles`.
+    engine_steps: u64,
 }
 
 impl Machine {
@@ -124,6 +177,7 @@ impl Machine {
             memsys: MemorySystem::new(cfg),
             act: ActivityCounters::new(),
             now: 0,
+            engine_steps: 0,
         }
     }
 
@@ -165,17 +219,28 @@ impl Machine {
     /// Loads a program onto a hardware thread, writing its data image to
     /// memory first.
     pub fn load_thread(&mut self, tile: TileId, thread: usize, program: Program) {
+        self.load_thread_shared(tile, thread, &Arc::new(program));
+    }
+
+    /// Loads an already-shared program onto a hardware thread, writing
+    /// its data image to memory first.
+    pub fn load_thread_shared(&mut self, tile: TileId, thread: usize, program: &Arc<Program>) {
         for &(addr, value) in &program.data {
             self.memsys.poke(addr, value);
         }
-        self.cores[tile.index()].load_thread(thread, Arc::new(program));
+        self.cores[tile.index()].load_thread(thread, Arc::clone(program));
     }
 
     /// Loads the same program onto thread `thread` of every one of the
-    /// first `n` tiles (the paper's 25-core EPI tests).
+    /// first `n` tiles (the paper's 25-core EPI tests). All tiles share
+    /// one `Arc` of the program, and the data image is written once.
     pub fn load_on_tiles(&mut self, n: usize, thread: usize, program: &Program) {
+        for &(addr, value) in &program.data {
+            self.memsys.poke(addr, value);
+        }
+        let shared = Arc::new(program.clone());
         for i in 0..n {
-            self.load_thread(TileId::new(i), thread, program.clone());
+            self.cores[i].load_thread(thread, Arc::clone(&shared));
         }
     }
 
@@ -194,13 +259,296 @@ impl Machine {
     /// Runs for `cycles` cycles (the clock always ticks; idle cycles are
     /// fast-forwarded but still counted, as the clock tree still burns
     /// idle power).
+    ///
+    /// Event-driven: each cycle, only cores that can issue (tracked in a
+    /// ready calendar) or that have store-buffer drains in flight are
+    /// stepped, in core order — the same order the naive engine sweeps
+    /// them — so every memory-system and NoC mutation happens in the
+    /// exact same global sequence and all counters (including the
+    /// order-dependent NoC bit-switch Hamming chains) match
+    /// [`Machine::run_naive`] exactly. Skipped cores accrue their
+    /// active/memory-stall charges in bulk at cached rates, which are
+    /// constant while a core cannot issue.
+    ///
+    /// Scheduler state is rebuilt per call: between calls, callers may
+    /// reload threads or mutate the memory system.
+    ///
+    /// When issue duty is high — most live cores issuing most cycles,
+    /// as in the lockstep 25-tile EPI tests — the calendar is pure
+    /// overhead, so the engine drops into a dense polling mode: the
+    /// naive sweep restricted to cores that can do anything at all
+    /// (running threads or store drains in flight; the naive engine's
+    /// steps of the others are observable no-ops). Either mode is
+    /// exact, so switching between them at any cycle boundary is too.
     pub fn run(&mut self, cycles: u64) {
+        let end = self.now + cycles;
+        if cycles == 0 {
+            return;
+        }
+        loop {
+            if self.run_event(end) {
+                return;
+            }
+            if self.run_dense(end) {
+                return;
+            }
+        }
+    }
+
+    /// Event-driven scheduling until `end` (returns `true`) or until
+    /// issue duty is high enough that dense polling is cheaper (returns
+    /// `false`).
+    #[allow(clippy::too_many_lines)]
+    fn run_event(&mut self, end: u64) -> bool {
+        // Per-core charge cache and chip-wide per-cycle rate totals.
+        let mut sched: Vec<CoreSched> = self
+            .cores
+            .iter()
+            .map(|c| CoreSched::of(c, self.now))
+            .collect();
+        let mut total_active: u64 = sched.iter().map(|s| s.active).sum();
+        let mut total_mem: u64 = sched.iter().map(|s| s.mem_wait).sum();
+        // Cores that can still issue at all, and how many consecutive
+        // cycles a majority of them issued (the dense-mode trigger).
+        let mut live: usize = sched.iter().filter(|s| s.ready_at.is_some()).count();
+        let mut high_duty_streak: u32 = 0;
+
+        // Ready calendar. Lazy deletion: an entry is live iff it matches
+        // the core's current cached `ready_at`; each core has exactly one
+        // live entry (or none), stale ones are dropped when inspected.
+        let mut calendar: BinaryHeap<Reverse<(u64, usize)>> = sched
+            .iter()
+            .enumerate()
+            .filter_map(|(k, s)| s.ready_at.map(|t| Reverse((t, k))))
+            .collect();
+
+        // Cores with store-buffer entries still draining: they must be
+        // stepped every cycle even when no thread can issue, so their
+        // background drains hit the memory system at the same cycles —
+        // and in the same core order — as under the naive engine.
+        let mut draining: Vec<usize> = (0..self.cores.len())
+            .filter(|&k| self.cores[k].has_pending_stores())
+            .collect();
+
+        let mut ready: Vec<usize> = Vec::with_capacity(self.cores.len());
+        let mut serviced: Vec<usize> = Vec::with_capacity(self.cores.len());
+
+        while self.now < end {
+            // Earliest live calendar entry.
+            let next_ready = loop {
+                match calendar.peek() {
+                    None => break None,
+                    Some(&Reverse((t, k))) => {
+                        if sched[k].ready_at == Some(t) {
+                            break Some(t);
+                        }
+                        calendar.pop();
+                    }
+                }
+            };
+
+            // Cores that can issue this cycle (consuming their entries).
+            ready.clear();
+            if next_ready.is_some_and(|t| t <= self.now) {
+                while let Some(&Reverse((t, k))) = calendar.peek() {
+                    if t > self.now {
+                        break;
+                    }
+                    calendar.pop();
+                    if sched[k].ready_at == Some(t) {
+                        ready.push(k);
+                    }
+                }
+                ready.sort_unstable();
+            }
+
+            serviced.clear();
+            serviced.extend_from_slice(&ready);
+            serviced.extend(draining.iter().copied());
+            serviced.sort_unstable();
+            serviced.dedup();
+
+            // Bulk-charge every core we skip at its cached rates;
+            // serviced cores charge themselves inside `step`.
+            let mut sub_active = 0;
+            let mut sub_mem = 0;
+            for &k in &serviced {
+                sub_active += sched[k].active;
+                sub_mem += sched[k].mem_wait;
+            }
+            self.act.core_active_cycles += total_active - sub_active;
+            self.act.mem_stall_cycles += total_mem - sub_mem;
+
+            for &k in &serviced {
+                self.cores[k].step(self.now, &mut self.memsys, &mut self.act);
+                self.engine_steps += 1;
+                let old = sched[k];
+                let new = CoreSched::of(&self.cores[k], self.now);
+                total_active = total_active - old.active + new.active;
+                total_mem = total_mem - old.mem_wait + new.mem_wait;
+                live = live - usize::from(old.ready_at.is_some())
+                    + usize::from(new.ready_at.is_some());
+                sched[k] = new;
+                // Keep the one-live-entry calendar invariant: push when
+                // the ready time changed (the old entry, if any, went
+                // stale) or when this core's entry was consumed into
+                // `ready` this cycle.
+                if let Some(t) = new.ready_at {
+                    if new.ready_at != old.ready_at || ready.binary_search(&k).is_ok() {
+                        calendar.push(Reverse((t, k)));
+                    }
+                }
+            }
+            if !serviced.is_empty() {
+                // Drain-set membership only changes when a core steps
+                // (stores enqueue on issue, drains retire in `advance`).
+                draining.retain(|&k| self.cores[k].has_pending_stores());
+                for &k in &serviced {
+                    if self.cores[k].has_pending_stores() && !draining.contains(&k) {
+                        draining.push(k);
+                    }
+                }
+                draining.sort_unstable();
+            }
+
+            self.act.cycles += 1;
+            self.now += 1;
+
+            if !serviced.is_empty() {
+                // Duty tracking. High duty — a majority of the cores
+                // that can issue at all stepped this cycle — means the
+                // calendar is buying little; two such busy cycles hand
+                // over to dense polling (dead cycles between them are
+                // duty-neutral: both modes fast-forward those, so e.g.
+                // lockstep issue/stall rhythms of long-latency tests
+                // still count as saturated).
+                if serviced.len() * 2 >= live {
+                    high_duty_streak += 1;
+                    if high_duty_streak >= 2 {
+                        return false;
+                    }
+                } else {
+                    high_duty_streak = 0;
+                }
+            }
+            if ready.is_empty() {
+                // Dead cycle: no thread is ready before `next_ready`, so
+                // every running thread keeps its current wait for the
+                // whole window — charge it in bulk at the cached rates
+                // and jump (the naive engine's fast-forward, generalized;
+                // in-flight drains are timestamp-based and land
+                // unchanged).
+                let next = next_ready.unwrap_or(end).min(end).max(self.now);
+                if next > self.now {
+                    let skipped = next - self.now;
+                    self.act.cycles += skipped;
+                    self.act.core_active_cycles += skipped * total_active;
+                    self.act.mem_stall_cycles += skipped * total_mem;
+                    self.now = next;
+                }
+            }
+        }
+        true
+    }
+
+    /// Dense polling until `end` (returns `true`) or until issue duty
+    /// drops low enough that the event scheduler is worth its rebuild
+    /// (returns `false`).
+    ///
+    /// The poll set is fixed at entry: every core with a running thread
+    /// or store drains in flight, stepped in ascending core order every
+    /// cycle — exactly the naive sweep minus cores whose steps would be
+    /// observable no-ops (no thread can wake and no drain can land
+    /// within one `run`), so charges, step order and counters are
+    /// identical to [`Machine::run_naive`]. All-stall cycles use the
+    /// naive fast-forward and stay dense: lockstep workloads (the
+    /// 25-tile EPI sweeps) alternate all-issue and all-stall cycles,
+    /// and bouncing to the event scheduler on each stall would rebuild
+    /// the calendar every few cycles. Only a *sustained* low-duty
+    /// stretch (mostly-idle polled cores) exits.
+    fn run_dense(&mut self, end: u64) -> bool {
+        let polled: Vec<usize> = (0..self.cores.len())
+            .filter(|&k| self.cores[k].any_running() || self.cores[k].has_pending_stores())
+            .collect();
+        if polled.is_empty() {
+            // Nothing can ever issue or drain: idle the clock out.
+            self.act.cycles += end - self.now;
+            self.now = end;
+            return true;
+        }
+        let all = polled.len() == self.cores.len();
+        let mut low_duty_streak: u32 = 0;
+        while self.now < end {
+            let mut issued = 0;
+            if all {
+                for core in &mut self.cores {
+                    issued += usize::from(core.step(self.now, &mut self.memsys, &mut self.act));
+                }
+            } else {
+                for &k in &polled {
+                    issued +=
+                        usize::from(self.cores[k].step(self.now, &mut self.memsys, &mut self.act));
+                }
+            }
+            self.engine_steps += polled.len() as u64;
+            self.act.cycles += 1;
+            self.now += 1;
+            if issued == 0 {
+                // The naive fast-forward: jump to the next cycle any
+                // core can issue, bulk-charging the skipped window.
+                // Unpolled cores have no running threads, so they
+                // contribute neither a ready time nor any charge, and
+                // the scan stays within the polled set.
+                let next = polled
+                    .iter()
+                    .filter_map(|&k| self.cores[k].next_ready_at())
+                    .min()
+                    .unwrap_or(end)
+                    .min(end)
+                    .max(self.now);
+                if next > self.now {
+                    let skipped = next - self.now;
+                    let running = polled
+                        .iter()
+                        .filter(|&&k| self.cores[k].any_running())
+                        .count() as u64;
+                    let memory_waiting: u64 = polled
+                        .iter()
+                        .map(|&k| self.cores[k].memory_waiting_threads(self.now))
+                        .sum();
+                    self.act.cycles += skipped;
+                    self.act.core_active_cycles += skipped * running;
+                    self.act.mem_stall_cycles += skipped * memory_waiting;
+                    self.now = next;
+                }
+                continue;
+            }
+            if issued * 8 < polled.len() {
+                low_duty_streak += 1;
+                if low_duty_streak >= 16 {
+                    return false;
+                }
+            } else {
+                low_duty_streak = 0;
+            }
+        }
+        true
+    }
+
+    /// The seed engine: polls every core every cycle, fast-forwarding
+    /// only when *no* core can issue. Kept as the reference
+    /// implementation the event-driven [`Machine::run`] is equivalence-
+    /// tested against (and for `--features naive-engine` benchmarking);
+    /// both produce identical counters, cycle for cycle.
+    #[cfg(any(test, feature = "naive-engine"))]
+    pub fn run_naive(&mut self, cycles: u64) {
         let end = self.now + cycles;
         while self.now < end {
             let mut issued_any = false;
             for core in &mut self.cores {
                 issued_any |= core.step(self.now, &mut self.memsys, &mut self.act);
             }
+            self.engine_steps += self.cores.len() as u64;
             self.act.cycles += 1;
             self.now += 1;
             if issued_any {
@@ -236,6 +584,12 @@ impl Machine {
         }
     }
 
+    /// Total `Core::step` calls made so far (scheduler diagnostics).
+    #[must_use]
+    pub fn engine_steps(&self) -> u64 {
+        self.engine_steps
+    }
+
     /// Runs until every thread halts or `max_cycles` elapse. Returns
     /// `true` if everything halted.
     pub fn run_until_halted(&mut self, max_cycles: u64) -> bool {
@@ -266,19 +620,20 @@ impl Machine {
         let end = self.now + cycles;
         let (even, odd) = pattern.flit_pair();
         let entry = TileId::new(0);
+        // One reusable flit buffer and one precomputed route for the
+        // whole run; the header (the destination route) is constant,
+        // only the payload toggles.
+        let mut flits = [0u64; BRIDGE_PATTERN_FLITS];
+        flits[0] = dst.index() as u64;
+        let plan = self.memsys.noc.plan(NocId::Noc2, entry, dst);
         let mut flit_toggle = false;
         while self.now < end {
-            // Header carries the destination route; constant per run.
-            let mut flits = Vec::with_capacity(BRIDGE_PATTERN_FLITS);
-            flits.push(dst.index() as u64);
-            for _ in 0..BRIDGE_PATTERN_FLITS - 1 {
-                flits.push(if flit_toggle { odd } else { even });
+            for slot in &mut flits[1..] {
+                *slot = if flit_toggle { odd } else { even };
                 flit_toggle = !flit_toggle;
             }
             self.act.chip_bridge_flits += BRIDGE_PATTERN_FLITS as u64;
-            self.memsys
-                .noc
-                .send(NocId::Noc2, entry, dst, &flits, &mut self.act);
+            self.memsys.noc.send_planned(&plan, &flits, &mut self.act);
             // Receipt at the destination L1.5.
             self.act.invalidations += 1;
             self.act.l15_reads += 1;
@@ -395,6 +750,88 @@ mod tests {
     }
 
     #[test]
+    fn partially_idle_machine_steps_only_busy_cores() {
+        // One running core out of 25: the event-driven engine must not
+        // step the 24 idle cores, so total step calls stay bounded by
+        // the executed cycles — where the naive engine pays 25x.
+        let mut event = machine();
+        event.load_thread(TileId::new(7), 0, count_loop(2_000));
+        event.run(20_000);
+        assert!(event.retired() > 4_000, "workload ran");
+        assert!(
+            event.engine_steps() <= 20_000,
+            "event engine stepped idle cores: {} steps",
+            event.engine_steps()
+        );
+
+        let mut naive = machine();
+        naive.load_thread(TileId::new(7), 0, count_loop(2_000));
+        naive.run_naive(20_000);
+        assert_eq!(naive.engine_steps() % 25, 0);
+        assert!(
+            naive.engine_steps() >= 25 * event.engine_steps() / 2,
+            "baseline sanity: naive {} vs event {}",
+            naive.engine_steps(),
+            event.engine_steps()
+        );
+        // And the counters still agree exactly.
+        assert_eq!(event.counters(), naive.counters());
+    }
+
+    #[test]
+    fn fully_idle_machine_steps_no_cores() {
+        let mut m = machine();
+        m.run(100_000);
+        assert_eq!(m.engine_steps(), 0);
+        assert_eq!(m.counters().cycles, 100_000);
+    }
+
+    /// Deterministic engine-equivalence regression over a workload mix
+    /// that exercises every scheduler path: store-buffer drains in dead
+    /// windows, memory stalls, rollbacks, dual threads, cross-core
+    /// coherence and chunked runs.
+    #[test]
+    fn event_engine_matches_naive_on_mixed_workloads() {
+        let store_heavy = |base: i64| {
+            let mut v = vec![Instruction::movi(Reg::new(1), base)];
+            for k in 0..40 {
+                v.push(Instruction::stx(Reg::new(1), Reg::new(1), k * 8));
+            }
+            v.push(Instruction::membar());
+            v.push(Instruction::halt());
+            Program::from_instructions(v)
+        };
+        let load_chain = |base: i64| {
+            Program::from_instructions(vec![
+                Instruction::movi(Reg::new(1), base),
+                Instruction::ldx(Reg::new(2), Reg::new(1), 0),
+                Instruction::ldx(Reg::new(3), Reg::new(1), 64),
+                Instruction::ldx(Reg::new(4), Reg::new(1), 4096),
+                Instruction::halt(),
+            ])
+        };
+        let build = || {
+            let mut m = machine();
+            m.load_thread(TileId::new(0), 0, store_heavy(0x6000));
+            m.load_thread(TileId::new(0), 1, count_loop(500));
+            m.load_thread(TileId::new(12), 0, load_chain(0x6000));
+            m.load_thread(TileId::new(24), 0, store_heavy(0x6000));
+            m.load_thread(TileId::new(24), 1, load_chain(0x9000));
+            m
+        };
+        let mut event = build();
+        let mut naive = build();
+        // Uneven chunks so boundaries land inside fast-forward gaps.
+        for chunk in [1, 7, 350, 1_000, 13, 4_000, 30_000] {
+            event.run(chunk);
+            naive.run_naive(chunk);
+        }
+        assert_eq!(event.now(), naive.now());
+        assert_eq!(event.retired(), naive.retired());
+        assert_eq!(event.counters(), naive.counters());
+    }
+
+    #[test]
     fn fswa_has_coupling_fsw_does_not() {
         let mut fswa = machine();
         fswa.run_invalidation_traffic(TileId::new(2), SwitchPattern::Fswa, 47 * 50);
@@ -404,5 +841,98 @@ mod tests {
             fswa.counters().noc_coupling_switches
                 > 10 * fsw.counters().noc_coupling_switches.max(1)
         );
+    }
+
+    mod engine_equivalence {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Mixes a seed word with a position (SplitMix64 finalizer) so
+        /// every (slot, pc) gets an independent instruction word.
+        fn mix(seed: u64, slot: usize, i: usize) -> u64 {
+            let mut z = seed ^ (slot as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            z = z.wrapping_add((i as u64 + 1).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Decodes one instruction from a random word. Covers every
+        /// scheduler-relevant class: 1-cycle ops, long execute occupancy
+        /// (sdivx), memory waits (ldx/casx), store-buffer pressure
+        /// (stx/membar) and control flow (loops included).
+        fn decode(word: u64, len: usize) -> Instruction {
+            let r = |sh: u32| Reg::new(1 + ((word >> sh) as u8 % 6));
+            // Word-aligned offsets within a few pages keeps some address
+            // sharing across cores (coherence traffic) while mulx-fed
+            // bases also reach far pages.
+            let imm = ((word >> 32) & 0x1FF) as i64 * 8;
+            match word % 12 {
+                0 => Instruction::nop(),
+                1 | 2 => Instruction::movi(r(8), ((word >> 24) & 0xFFFF) as i64),
+                3 => Instruction::alu(Opcode::Add, r(8), r(12), r(16)),
+                4 => Instruction::alu(Opcode::Mulx, r(8), r(12), r(16)),
+                5 => Instruction::alu(Opcode::Sdivx, r(8), r(12), r(16)),
+                6 => Instruction::ldx(r(8), r(12), imm),
+                7 | 8 => Instruction::stx(r(8), r(12), imm),
+                9 => Instruction::casx(r(8), r(12), r(16)),
+                10 => Instruction::membar(),
+                _ => Instruction::branch(
+                    if word & 0x400 == 0 {
+                        Opcode::Bne
+                    } else {
+                        Opcode::Beq
+                    },
+                    r(8),
+                    r(12),
+                    (word >> 44) as usize % (len + 1),
+                ),
+            }
+        }
+
+        fn decode_program(seeds: &[u64], slot: usize) -> Program {
+            let seed = seeds[slot % seeds.len()];
+            let len = 4 + (mix(seed, slot, 0) as usize % 14);
+            let instrs = (0..len)
+                .map(|i| decode(mix(seed, slot, i + 1), len))
+                .collect();
+            Program::from_instructions(instrs)
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+            #[test]
+            fn event_engine_matches_naive_engine(
+                seeds in proptest::collection::vec(proptest::strategy::any::<u64>(), 2..8),
+                placement in proptest::collection::vec((0usize..25, 0usize..2), 1..9),
+                chunks in proptest::collection::vec(50u64..4_000, 1..6),
+            ) {
+                let build = || {
+                    let mut m = machine();
+                    for (slot, &(tile, thread)) in placement.iter().enumerate() {
+                        m.load_thread(
+                            TileId::new(tile),
+                            thread,
+                            decode_program(&seeds, slot),
+                        );
+                    }
+                    m
+                };
+                let mut event = build();
+                let mut naive = build();
+                // Identical chunking for both engines: chunk boundaries
+                // are observable (they cut fast-forward windows), so they
+                // must cut both engines in the same places.
+                for &chunk in &chunks {
+                    event.run(chunk);
+                    naive.run_naive(chunk);
+                }
+                prop_assert_eq!(event.now(), naive.now());
+                prop_assert_eq!(event.retired(), naive.retired());
+                prop_assert!(event.engine_steps() <= naive.engine_steps());
+                // Full counter equality, f64 fields bitwise included.
+                prop_assert_eq!(event.counters(), naive.counters());
+            }
+        }
     }
 }

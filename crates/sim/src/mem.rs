@@ -4,14 +4,26 @@
 //! physical address space. Timing never lives here — the cache hierarchy
 //! and chipset models own latency; this module owns *values*, which the
 //! power model needs because data-bit activity contributes to energy.
+//!
+//! Storage is paged: the address space is split into 4 KB pages, each a
+//! flat `[u64; 512]` array, held in a [`FastMap`] keyed by page number.
+//! Workload footprints are dense within a handful of pages, so reads and
+//! writes resolve to one cheap hash (per page, not per word) plus an
+//! array index — the per-word SipHash of the old `HashMap<u64, u64>` was
+//! one of the hottest paths in the memory-bound EPI sweeps.
 
-use std::collections::HashMap;
+use crate::fastmap::FastMap;
+
+/// Words per memory page (4 KB / 8 B).
+const PAGE_WORDS: usize = 512;
 
 /// Sparse 64-bit-word main memory. Unwritten locations read as zero, like
 //  DRAM after the memory controller's init scrub.
 #[derive(Debug, Default, Clone)]
 pub struct Memory {
-    words: HashMap<u64, u64>,
+    pages: FastMap<u64, Box<[u64; PAGE_WORDS]>>,
+    /// Count of non-zero words resident across all pages.
+    resident: usize,
 }
 
 impl Memory {
@@ -21,20 +33,40 @@ impl Memory {
         Self::default()
     }
 
+    #[inline]
+    fn locate(addr: u64) -> (u64, usize) {
+        let word = addr >> 3;
+        (word >> 9, (word & 511) as usize)
+    }
+
     /// Reads the 64-bit word containing `addr` (the address is aligned
     /// down to 8 bytes).
     #[must_use]
     pub fn read(&self, addr: u64) -> u64 {
-        self.words.get(&(addr & !7)).copied().unwrap_or(0)
+        let (page, slot) = Self::locate(addr);
+        self.pages.get(&page).map_or(0, |p| p[slot])
     }
 
     /// Writes the 64-bit word containing `addr`.
     pub fn write(&mut self, addr: u64, value: u64) {
-        let key = addr & !7;
+        let (page, slot) = Self::locate(addr);
         if value == 0 {
-            self.words.remove(&key);
+            // Avoid materializing a page just to store a zero.
+            if let Some(p) = self.pages.get_mut(&page) {
+                if p[slot] != 0 {
+                    p[slot] = 0;
+                    self.resident -= 1;
+                }
+            }
         } else {
-            self.words.insert(key, value);
+            let p = self
+                .pages
+                .entry(page)
+                .or_insert_with(|| Box::new([0; PAGE_WORDS]));
+            if p[slot] == 0 {
+                self.resident += 1;
+            }
+            p[slot] = value;
         }
     }
 
@@ -51,7 +83,7 @@ impl Memory {
     /// Number of non-zero words resident (for tests/diagnostics).
     #[must_use]
     pub fn resident_words(&self) -> usize {
-        self.words.len()
+        self.resident
     }
 }
 
@@ -87,5 +119,29 @@ mod tests {
         // Match: stores, returns old value.
         assert_eq!(m.compare_and_swap(0x40, 1, 7), 1);
         assert_eq!(m.read(0x40), 7);
+    }
+
+    #[test]
+    fn page_straddling_addresses_are_independent() {
+        let mut m = Memory::new();
+        // Last word of page 0 and first word of page 1.
+        m.write(4096 - 8, 11);
+        m.write(4096, 22);
+        assert_eq!(m.read(4096 - 8), 11);
+        assert_eq!(m.read(4096), 22);
+        assert_eq!(m.resident_words(), 2);
+    }
+
+    #[test]
+    fn rewriting_a_word_keeps_residency_exact() {
+        let mut m = Memory::new();
+        m.write(0x100, 1);
+        m.write(0x100, 2); // overwrite non-zero with non-zero
+        assert_eq!(m.resident_words(), 1);
+        m.write(0x108, 0); // zero write to an untouched slot
+        assert_eq!(m.resident_words(), 1);
+        m.write(0x100, 0);
+        m.write(0x100, 0); // double zero write
+        assert_eq!(m.resident_words(), 0);
     }
 }

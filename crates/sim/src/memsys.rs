@@ -25,8 +25,6 @@
 //! | L1 miss, remote L2 hit (8 hops + turns) | 52 |
 //! | L1 miss, local L2 miss | ≈ 424 (29 on-chip + ~395 off-chip) |
 
-use std::collections::HashMap;
-
 use piton_arch::config::{ChipConfig, SliceMapping};
 use piton_arch::topology::TileId;
 use serde::{Deserialize, Serialize};
@@ -34,6 +32,7 @@ use serde::{Deserialize, Serialize};
 use crate::cache::{LineState, SetAssocCache};
 use crate::chipset::MemoryPath;
 use crate::events::{value_activity, ActivityCounters};
+use crate::fastmap::FastMap;
 use crate::mem::Memory;
 use crate::noc::{NocFabric, NocId};
 
@@ -129,7 +128,7 @@ pub struct MemorySystem {
     l1d: Vec<SetAssocCache>,
     l15: Vec<SetAssocCache>,
     l2: Vec<SetAssocCache>,
-    dir: HashMap<u64, DirEntry>,
+    dir: FastMap<u64, DirEntry>,
     /// The three physical NoCs.
     pub noc: NocFabric,
     /// The off-chip memory path.
@@ -148,7 +147,7 @@ impl MemorySystem {
             l1d: (0..n).map(|_| SetAssocCache::new(cfg.l1d)).collect(),
             l15: (0..n).map(|_| SetAssocCache::new(cfg.l15)).collect(),
             l2: (0..n).map(|_| SetAssocCache::new(cfg.l2)).collect(),
-            dir: HashMap::new(),
+            dir: FastMap::default(),
             noc: NocFabric::new(cfg.topology().clone()),
             path: MemoryPath::new(),
             mem: Memory::new(),
