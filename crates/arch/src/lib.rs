@@ -33,10 +33,12 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod error;
 pub mod floorplan;
 pub mod isa;
 pub mod topology;
 pub mod units;
 
 pub use config::ChipConfig;
+pub use error::PitonError;
 pub use topology::{Coord, TileId};

@@ -14,9 +14,17 @@
 //! be overridden with `--jobs N` (or the `PITON_JOBS` environment
 //! variable). Results are byte-identical at every jobs level; a
 //! per-section speedup table is printed to stderr at the end.
+//!
+//! Fault injection (see `piton_board::fault`) is enabled with
+//! `--fault-plan=SPEC`, the `PITON_FAULT_PLAN` environment variable
+//! (same spec syntax), or `PITON_FAULT_SEED=N` (a bare seed with
+//! default monitor-fault rates). Grid points that fail permanently are
+//! rendered as explicitly-marked holes and the process exits nonzero so
+//! a partially-failed reproduction cannot pass silently.
 
 use std::time::{Duration, Instant};
 
+use piton_board::fault::{self, FaultPlan};
 use piton_core::experiments::{
     ablations, area, core_scaling, epi, mem_latency, memory_energy, mt_vs_mc, noc_energy, specint,
     static_idle, thermal, vf_sweep, yield_stats, Fidelity,
@@ -50,9 +58,49 @@ fn parse_jobs() -> usize {
     runner::default_jobs()
 }
 
+/// Resolves the fault plan from `--fault-plan=SPEC`, `PITON_FAULT_PLAN`
+/// (same spec), or `PITON_FAULT_SEED` (bare seed, default rates) — in
+/// that order of precedence. Exits with status 2 on a malformed spec.
+fn parse_fault_plan() -> Option<FaultPlan> {
+    let args: Vec<String> = std::env::args().collect();
+    let spec = args
+        .iter()
+        .enumerate()
+        .find_map(|(i, a)| {
+            a.strip_prefix("--fault-plan=")
+                .map(str::to_owned)
+                .or_else(|| {
+                    (a == "--fault-plan")
+                        .then(|| args.get(i + 1).cloned())
+                        .flatten()
+                })
+        })
+        .or_else(|| std::env::var("PITON_FAULT_PLAN").ok());
+    if let Some(spec) = spec {
+        match FaultPlan::parse(&spec) {
+            Ok(plan) => return Some(plan),
+            Err(e) => {
+                eprintln!("reproduce: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    match std::env::var("PITON_FAULT_SEED").ok() {
+        Some(seed) => match seed.parse() {
+            Ok(seed) => Some(FaultPlan::with_seed(seed)),
+            Err(_) => {
+                eprintln!("reproduce: PITON_FAULT_SEED must be a u64, got {seed:?}");
+                std::process::exit(2);
+            }
+        },
+        None => None,
+    }
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "quick");
     let jobs = parse_jobs();
+    let fault_plan = parse_fault_plan();
     let csv_dir: Option<std::path::PathBuf> =
         std::env::args().find_map(|a| a.strip_prefix("csv=").map(std::path::PathBuf::from));
     if let Some(dir) = &csv_dir {
@@ -63,16 +111,29 @@ fn main() {
             std::fs::write(dir.join(name), data).expect("write csv");
         }
     };
-    let fidelity = if quick {
+    let mut fidelity = if quick {
         Fidelity::quick()
     } else {
         Fidelity::full()
     }
     .with_jobs(jobs);
+    if let Some(plan) = &fault_plan {
+        fidelity = fidelity.with_fault(fault::register(plan.clone()));
+    }
     eprintln!(
         "reproduce: {} fidelity, {jobs} sweep worker(s)",
         if quick { "quick" } else { "full" }
     );
+    if let Some(plan) = &fault_plan {
+        eprintln!(
+            "reproduce: fault plan active (seed {}, drop {}, stuck {}, glitch {}, {} sabotage(s))",
+            plan.seed,
+            plan.drop_rate,
+            plan.stuck_rate,
+            plan.glitch_rate,
+            plan.sabotage.len()
+        );
+    }
 
     let t0 = Instant::now();
     let mut timings: Vec<SectionTiming> = Vec::new();
@@ -100,7 +161,9 @@ fn main() {
         "Figure 10 + Table V — static and idle power",
         static_idle::run(fidelity).render(),
     );
+    let mut holes = 0usize;
     let epi_result = epi::run(fidelity);
+    holes += epi_result.holes.len();
     write_csv("figure11_epi.csv", epi_result.to_csv());
     section(
         "Figure 11 + Table VI — energy per instruction",
@@ -110,6 +173,7 @@ fn main() {
     write_csv("table7_memory_energy.csv", mem_result.to_csv());
     section("Table VII — memory system energy", mem_result.render());
     let noc_result = noc_energy::run(fidelity);
+    holes += noc_result.holes.len();
     write_csv("figure12_noc_epf.csv", noc_result.to_csv());
     section("Figure 12 — NoC energy per flit", noc_result.render());
     let cores: Vec<usize> = if quick {
@@ -117,9 +181,11 @@ fn main() {
     } else {
         (1..=25).collect()
     };
+    let scaling_result = core_scaling::run_with_cores(&cores, fidelity);
+    holes += scaling_result.holes.len();
     section(
         "Figure 13 — power scaling with core count",
-        core_scaling::run_with_cores(&cores, fidelity).render(),
+        scaling_result.render(),
     );
     let threads: Vec<usize> = if quick {
         vec![8, 16, 24]
@@ -194,4 +260,8 @@ fn main() {
         "total: {total:?} (sweep work {total_busy:.1?}, overall speedup {:.2}x)",
         total_busy.as_secs_f64() / total.as_secs_f64()
     );
+    if holes > 0 {
+        eprintln!("reproduce: {holes} grid point(s) lost to faults — tables contain marked holes");
+        std::process::exit(1);
+    }
 }

@@ -21,6 +21,7 @@ pub fn bench_fidelity() -> Fidelity {
         chunk_cycles: 2_000,
         warmup_cycles: 20_000,
         jobs: 1,
+        fault: None,
     }
 }
 

@@ -8,6 +8,8 @@
 //! and fan stack, and a drawer of packaged dies with varying process
 //! corners and defects. This crate reproduces each piece:
 //!
+//! * [`fault`] — seeded deterministic bench-fault injection (dropped /
+//!   stuck / glitched monitor reads, supply brownouts, sweep sabotage);
 //! * [`supply`] — bench supplies and the rail set;
 //! * [`monitor`] — sense-resistor channels, sampling noise, and the
 //!   128-sample mean ± stddev measurement windows;
@@ -28,11 +30,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod monitor;
 pub mod population;
 pub mod supply;
 pub mod system;
 
-pub use monitor::{Measured, MeasurementWindow};
-pub use population::{ChipPopulation, ChipStatus, NamedChip, YieldCounts};
+pub use fault::{FaultPlan, FaultToken};
+pub use monitor::{Measured, MeasurementWindow, Quality};
+pub use population::{ChipPopulation, ChipStatus, Die, NamedChip, YieldCounts};
 pub use system::{PitonSystem, RailMeasurement, WorkloadRun};

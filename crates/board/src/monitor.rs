@@ -18,10 +18,12 @@
 //! let mut chan = MonitorChannel::piton_board(42);
 //! let window: MeasurementWindow =
 //!     (0..128).map(|_| chan.sample(Watts(2.0153))).collect();
-//! assert!((window.mean().as_mw() - 2015.3).abs() < 3.0);
-//! assert!(window.stddev().as_mw() < 5.0);
+//! assert!((window.mean().unwrap().as_mw() - 2015.3).abs() < 3.0);
+//! assert!(window.stddev().unwrap().as_mw() < 5.0);
 //! ```
 
+use crate::fault::{FaultPlan, FaultState, SampleFault, MAX_SAMPLE_RETRIES};
+use piton_arch::error::PitonError;
 use piton_arch::units::{Ohms, Seconds, Watts};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -52,6 +54,12 @@ pub struct MonitorChannel {
     /// ADC least-significant-bit size in watts.
     lsb_w: f64,
     rng: StdRng,
+    /// The channel's own seed; identifies its fault stream under a plan.
+    seed: u64,
+    /// Injected-fault stream, when a plan is attached.
+    fault: Option<FaultState>,
+    /// Previous conversion — what a stuck ADC re-reports.
+    last: Option<Watts>,
 }
 
 impl MonitorChannel {
@@ -65,6 +73,9 @@ impl MonitorChannel {
             noise_fraction: 5.0e-4,
             lsb_w: 0.5e-3,
             rng: StdRng::seed_from_u64(seed),
+            seed,
+            fault: None,
+            last: None,
         }
     }
 
@@ -72,6 +83,18 @@ impl MonitorChannel {
     #[must_use]
     pub fn sense_resistance(&self) -> Ohms {
         self.sense
+    }
+
+    /// Attaches a fault plan: subsequent [`Self::sample_with_retry`]
+    /// calls draw injected faults from a stream seeded by the plan and
+    /// this channel's own seed. Plans with no monitor-fault rates leave
+    /// the channel fault-free (and its noise stream untouched).
+    pub fn attach_faults(&mut self, plan: &FaultPlan) {
+        self.fault = if plan.has_monitor_faults() {
+            Some(FaultState::for_channel(plan, self.seed))
+        } else {
+            None
+        };
     }
 
     /// Takes one monitor sample of a true rail power.
@@ -83,7 +106,116 @@ impl MonitorChannel {
         let gauss = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
         let noisy = true_power.0 + sigma * gauss;
         // ADC quantization.
-        Watts((noisy / self.lsb_w).round() * self.lsb_w)
+        let w = Watts((noisy / self.lsb_w).round() * self.lsb_w);
+        self.last = Some(w);
+        w
+    }
+
+    /// Takes one sample under the attached fault plan, retrying dropped
+    /// reads up to [`MAX_SAMPLE_RETRIES`] times with deterministic
+    /// backoff (each retry burns one poll slot, tallied in `quality`).
+    /// Returns `None` when every attempt dropped — the sample is lost
+    /// and the window simply gets one fewer entry, exactly like the real
+    /// bench script skipping a failed I²C transaction.
+    ///
+    /// Without an attached plan this is byte-identical to [`Self::sample`].
+    pub fn sample_with_retry(&mut self, true_power: Watts, quality: &mut Quality) -> Option<Watts> {
+        let Some(mut fault) = self.fault.take() else {
+            quality.kept += 1;
+            return Some(self.sample(true_power));
+        };
+        let mut outcome = None;
+        for attempt in 0..=MAX_SAMPLE_RETRIES {
+            match fault.roll() {
+                Some(SampleFault::Dropped) => {
+                    // Failed transaction: no conversion happened. Back
+                    // off one poll slot and retry, deterministically.
+                    if attempt < MAX_SAMPLE_RETRIES {
+                        quality.retried += 1;
+                    }
+                }
+                Some(SampleFault::Stuck) => {
+                    // The ADC re-reports its previous conversion.
+                    quality.stuck += 1;
+                    quality.kept += 1;
+                    let w = self
+                        .last
+                        .unwrap_or_else(|| Watts((true_power.0 / self.lsb_w).round() * self.lsb_w));
+                    outcome = Some(w);
+                    break;
+                }
+                Some(SampleFault::Glitch) => {
+                    quality.glitched += 1;
+                    quality.kept += 1;
+                    let w = fault.glitch_value(true_power);
+                    self.last = Some(w);
+                    outcome = Some(w);
+                    break;
+                }
+                None => {
+                    quality.kept += 1;
+                    outcome = Some(self.sample(true_power));
+                    break;
+                }
+            }
+        }
+        if outcome.is_none() {
+            quality.dropped += 1;
+        }
+        self.fault = Some(fault);
+        outcome
+    }
+}
+
+/// Bench-side health report of one measurement window: how many samples
+/// survived, and what the fault-handling machinery had to do to get
+/// them.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Quality {
+    /// Samples that made it into the window (including stuck/glitched
+    /// ones later subject to outlier rejection).
+    pub kept: u32,
+    /// Samples lost outright after exhausting retries.
+    pub dropped: u32,
+    /// Extra poll slots burned retrying dropped reads.
+    pub retried: u32,
+    /// Stuck-ADC repeats of a previous conversion.
+    pub stuck: u32,
+    /// Out-of-range glitch reads injected into the window.
+    pub glitched: u32,
+    /// Samples discarded by window outlier rejection.
+    pub rejected: u32,
+}
+
+impl Quality {
+    /// Merges another report into this one (e.g. across rails).
+    pub fn absorb(&mut self, other: &Quality) {
+        self.kept += other.kept;
+        self.dropped += other.dropped;
+        self.retried += other.retried;
+        self.stuck += other.stuck;
+        self.glitched += other.glitched;
+        self.rejected += other.rejected;
+    }
+
+    /// Whether any fault handling fired at all.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.dropped == 0
+            && self.retried == 0
+            && self.stuck == 0
+            && self.glitched == 0
+            && self.rejected == 0
+    }
+}
+
+impl std::fmt::Display for Quality {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} kept, {} dropped, {} retried, {} stuck, {} glitched, {} rejected",
+            self.kept, self.dropped, self.retried, self.stuck, self.glitched, self.rejected
+        )
     }
 }
 
@@ -125,35 +257,95 @@ impl MeasurementWindow {
 
     /// Mean power over the window (what the paper reports).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the window is empty.
-    #[must_use]
-    pub fn mean(&self) -> Watts {
-        assert!(!self.is_empty(), "empty measurement window");
-        Watts(self.samples.iter().map(|w| w.0).sum::<f64>() / self.samples.len() as f64)
+    /// [`PitonError::EmptyWindow`] if every sample was dropped or the
+    /// window was never filled.
+    pub fn mean(&self) -> Result<Watts, PitonError> {
+        if self.is_empty() {
+            return Err(PitonError::EmptyWindow {
+                context: "window mean",
+            });
+        }
+        Ok(Watts(
+            self.samples.iter().map(|w| w.0).sum::<f64>() / self.samples.len() as f64,
+        ))
     }
 
     /// Sample standard deviation — the paper's error bars.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the window is empty.
-    #[must_use]
-    pub fn stddev(&self) -> Watts {
-        assert!(!self.is_empty(), "empty measurement window");
+    /// [`PitonError::EmptyWindow`] if every sample was dropped or the
+    /// window was never filled.
+    pub fn stddev(&self) -> Result<Watts, PitonError> {
+        if self.is_empty() {
+            return Err(PitonError::EmptyWindow {
+                context: "window stddev",
+            });
+        }
         let n = self.samples.len() as f64;
         if n < 2.0 {
-            return Watts(0.0);
+            return Ok(Watts(0.0));
         }
-        let mean = self.mean().0;
+        let mean = self.mean()?.0;
         let var = self
             .samples
             .iter()
             .map(|w| (w.0 - mean) * (w.0 - mean))
             .sum::<f64>()
             / (n - 1.0);
-        Watts(var.sqrt())
+        Ok(Watts(var.sqrt()))
+    }
+
+    /// Median of the window — the robust centre outlier rejection pivots
+    /// on.
+    ///
+    /// # Errors
+    ///
+    /// [`PitonError::EmptyWindow`] on an empty window.
+    pub fn median(&self) -> Result<Watts, PitonError> {
+        if self.is_empty() {
+            return Err(PitonError::EmptyWindow {
+                context: "window median",
+            });
+        }
+        let mut v: Vec<f64> = self.samples.iter().map(|w| w.0).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite power samples"));
+        let n = v.len();
+        Ok(Watts(if n % 2 == 1 {
+            v[n / 2]
+        } else {
+            0.5 * (v[n / 2 - 1] + v[n / 2])
+        }))
+    }
+
+    /// Statistics after rejecting glitch outliers: samples further from
+    /// the window median than max(5 % of the median, 20 mW) — far
+    /// outside the board's ±1.5 mW noise band but tight enough to catch
+    /// every injected glitch — are discarded; the paper's mean ± stddev
+    /// is computed over the survivors and the rejection count recorded
+    /// in `quality`.
+    ///
+    /// # Errors
+    ///
+    /// [`PitonError::EmptyWindow`] on an empty window (the median
+    /// itself always survives, so a non-empty window never rejects to
+    /// empty).
+    pub fn robust_stats(&self, quality: &mut Quality) -> Result<Measured, PitonError> {
+        let median = self.median()?.0;
+        let tolerance = (0.05 * median.abs()).max(0.02);
+        let survivors: MeasurementWindow = self
+            .samples
+            .iter()
+            .copied()
+            .filter(|w| (w.0 - median).abs() <= tolerance)
+            .collect();
+        let rejected = self.len() - survivors.len();
+        let rejected = u32::try_from(rejected).expect("window fits in u32");
+        quality.rejected += rejected;
+        quality.kept = quality.kept.saturating_sub(rejected);
+        Measured::from_window(&survivors)
     }
 }
 
@@ -183,12 +375,15 @@ pub struct Measured {
 
 impl Measured {
     /// Collapses a window into its statistics.
-    #[must_use]
-    pub fn from_window(w: &MeasurementWindow) -> Self {
-        Self {
-            mean: w.mean(),
-            stddev: w.stddev(),
-        }
+    ///
+    /// # Errors
+    ///
+    /// [`PitonError::EmptyWindow`] on an empty window.
+    pub fn from_window(w: &MeasurementWindow) -> Result<Self, PitonError> {
+        Ok(Self {
+            mean: w.mean()?,
+            stddev: w.stddev()?,
+        })
     }
 }
 
@@ -214,9 +409,9 @@ mod tests {
         let mut chan = MonitorChannel::piton_board(7);
         let truth = Watts(2.0153);
         let window: MeasurementWindow = (0..2_000).map(|_| chan.sample(truth)).collect();
-        assert!((window.mean().0 - truth.0).abs() < 0.001);
+        assert!((window.mean().unwrap().0 - truth.0).abs() < 0.001);
         // Noise floor ~1.5 mW + 1 mW proportional: stddev in range.
-        let s = window.stddev().as_mw();
+        let s = window.stddev().unwrap().as_mw();
         assert!((0.5..6.0).contains(&s), "stddev {s}");
     }
 
@@ -245,14 +440,92 @@ mod tests {
     #[test]
     fn stddev_of_constant_is_zero() {
         let w: MeasurementWindow = (0..16).map(|_| Watts(1.0)).collect();
-        assert_eq!(w.stddev(), Watts(0.0));
-        assert_eq!(w.mean(), Watts(1.0));
+        assert_eq!(w.stddev().unwrap(), Watts(0.0));
+        assert_eq!(w.mean().unwrap(), Watts(1.0));
     }
 
     #[test]
-    #[should_panic(expected = "empty measurement window")]
-    fn empty_window_mean_panics() {
-        let _ = MeasurementWindow::new().mean();
+    fn empty_window_reports_an_error_not_a_panic() {
+        let w = MeasurementWindow::new();
+        assert_eq!(
+            w.mean().unwrap_err(),
+            PitonError::EmptyWindow {
+                context: "window mean"
+            }
+        );
+        assert_eq!(
+            w.stddev().unwrap_err(),
+            PitonError::EmptyWindow {
+                context: "window stddev"
+            }
+        );
+        assert!(Measured::from_window(&w).is_err());
+        assert!(w.median().is_err());
+        assert!(w.robust_stats(&mut Quality::default()).is_err());
+    }
+
+    #[test]
+    fn fault_free_retry_path_matches_plain_sampling() {
+        let mut plain = MonitorChannel::piton_board(11);
+        let mut retried = MonitorChannel::piton_board(11);
+        let mut q = Quality::default();
+        for i in 0..64 {
+            let truth = Watts(1.0 + 0.01 * f64::from(i));
+            let a = plain.sample(truth);
+            let b = retried.sample_with_retry(truth, &mut q).unwrap();
+            assert_eq!(a, b);
+        }
+        assert_eq!(q.kept, 64);
+        assert!(q.is_clean());
+    }
+
+    #[test]
+    fn faulty_sampling_is_deterministic_and_tallied() {
+        let plan = FaultPlan {
+            drop_rate: 0.2,
+            stuck_rate: 0.1,
+            glitch_rate: 0.1,
+            ..FaultPlan::with_seed(5)
+        };
+        let run = |()| {
+            let mut chan = MonitorChannel::piton_board(11);
+            chan.attach_faults(&plan);
+            let mut q = Quality::default();
+            let samples: Vec<_> = (0..256)
+                .filter_map(|_| chan.sample_with_retry(Watts(2.0), &mut q))
+                .collect();
+            (samples, q)
+        };
+        let (sa, qa) = run(());
+        let (sb, qb) = run(());
+        assert_eq!(sa, sb, "fault-injected stream must be reproducible");
+        assert_eq!(qa, qb);
+        assert!(!qa.is_clean(), "rates this high must fire: {qa}");
+        assert!(qa.stuck > 0 && qa.glitched > 0 && qa.retried > 0, "{qa}");
+        assert_eq!(qa.kept as usize, sa.len());
+    }
+
+    #[test]
+    fn robust_stats_reject_injected_glitches() {
+        let plan = FaultPlan {
+            glitch_rate: 0.08,
+            ..FaultPlan::with_seed(9)
+        };
+        let mut chan = MonitorChannel::piton_board(21);
+        chan.attach_faults(&plan);
+        let mut q = Quality::default();
+        let truth = Watts(2.0153);
+        let window: MeasurementWindow = (0..128)
+            .filter_map(|_| chan.sample_with_retry(truth, &mut q))
+            .collect();
+        // Raw mean is polluted by multi-watt glitches…
+        let raw = window.mean().unwrap();
+        assert!((raw.0 - truth.0).abs() > 0.05, "raw mean {raw} too clean");
+        // …robust stats land back in the paper's noise band.
+        let m = window.robust_stats(&mut q).unwrap();
+        assert!((m.mean.0 - truth.0).abs() < 0.003, "robust mean {}", m.mean);
+        assert!(m.stddev.as_mw() < 5.0);
+        assert_eq!(q.rejected, q.glitched, "every glitch rejected, no more");
     }
 
     #[test]

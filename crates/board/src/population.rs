@@ -16,6 +16,7 @@
 //! Chip #3 slightly slow and cool (used for the microbenchmarks, with
 //! its own Table V row: 364.8 mW static, 1906.2 mW idle).
 
+use piton_arch::error::PitonError;
 use piton_power::model::ChipCorner;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -89,6 +90,39 @@ pub struct Die {
     pub status: ChipStatus,
     /// Whether this die was packaged (45 of 118 were).
     pub packaged: bool,
+}
+
+impl Die {
+    /// Which cores this die's defects fuse off (bit *i* = tile *i*),
+    /// mapping the Table IV classes onto degraded-but-runnable machines
+    /// the way the paper ran chips with faulty cores as 24-core parts
+    /// (the core is disabled, its router still forwards):
+    ///
+    /// * `Good` — nothing fused off;
+    /// * `UnstableDeterministic` — one or two cores with bad SRAM
+    ///   cells, chosen deterministically from the serial;
+    /// * `UnstableNondeterministic` — one marginal core;
+    /// * rail shorts — the whole array is unusable.
+    #[must_use]
+    pub fn faulty_core_mask(&self) -> u32 {
+        const ALL_25: u32 = (1 << 25) - 1;
+        // SplitMix64 finalizer on the serial: deterministic per die,
+        // decorrelated across serials.
+        let mut z = u64::from(self.serial).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let first = 1u32 << (z % 25);
+        let second = 1u32 << ((z >> 32) % 25);
+        match self.status {
+            ChipStatus::Good => 0,
+            ChipStatus::UnstableNondeterministic => first,
+            // One bad SRAM macro usually takes out one core; sometimes
+            // the defect spans two.
+            ChipStatus::UnstableDeterministic => first | second,
+            ChipStatus::BadVcsShort | ChipStatus::BadVddShort => ALL_25,
+        }
+    }
 }
 
 /// The named reference chips of the paper.
@@ -306,6 +340,32 @@ impl YieldCounts {
 /// test).
 pub const PITON_RUN_SEED: u64 = 132;
 
+/// Searches `range` for a population seed whose default 32-chip
+/// campaign reproduces the exact Table IV counts (19/7/4/1/1). This is
+/// how [`PITON_RUN_SEED`] was found.
+///
+/// # Errors
+///
+/// [`PitonError::SeedNotFound`] naming the exhausted range.
+pub fn find_table_iv_seed(range: std::ops::Range<u64>) -> Result<u64, PitonError> {
+    let (lo, hi) = (range.start, range.end);
+    for seed in range {
+        let pop = ChipPopulation::generate(118, 45, DefectRates::table_iv(), seed);
+        let c = pop.test_campaign(32);
+        if (
+            c.good,
+            c.unstable_deterministic,
+            c.bad_vcs_short,
+            c.bad_vdd_short,
+            c.unstable_nondeterministic,
+        ) == (19, 7, 4, 1, 1)
+        {
+            return Ok(seed);
+        }
+    }
+    Err(PitonError::SeedNotFound { lo, hi })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -398,6 +458,42 @@ mod tests {
     }
 
     #[test]
+    fn faulty_core_masks_map_table_iv_classes() {
+        let die = |serial, status| Die {
+            serial,
+            corner: ChipCorner::default(),
+            status,
+            packaged: true,
+        };
+        assert_eq!(die(0, ChipStatus::Good).faulty_core_mask(), 0);
+        assert_eq!(
+            die(1, ChipStatus::BadVddShort).faulty_core_mask(),
+            (1 << 25) - 1
+        );
+        assert_eq!(
+            die(1, ChipStatus::BadVcsShort).faulty_core_mask(),
+            (1 << 25) - 1
+        );
+        for serial in 0..64 {
+            let m = die(serial, ChipStatus::UnstableNondeterministic).faulty_core_mask();
+            assert_eq!(m.count_ones(), 1, "serial {serial}: {m:#x}");
+            let m = die(serial, ChipStatus::UnstableDeterministic).faulty_core_mask();
+            assert!((1..=2).contains(&m.count_ones()), "serial {serial}: {m:#x}");
+            assert!(m < 1 << 25, "mask must stay within the 25-tile array");
+            // Deterministic per serial.
+            assert_eq!(
+                m,
+                die(serial, ChipStatus::UnstableDeterministic).faulty_core_mask()
+            );
+        }
+        // Defects land on different tiles for different dies.
+        let distinct: std::collections::HashSet<u32> = (0..16)
+            .map(|s| die(s, ChipStatus::UnstableNondeterministic).faulty_core_mask())
+            .collect();
+        assert!(distinct.len() > 8, "only {} distinct masks", distinct.len());
+    }
+
+    #[test]
     fn table_iv_metadata_strings() {
         assert_eq!(ChipStatus::BadVcsShort.possible_cause(), "Short");
         assert_eq!(
@@ -415,21 +511,28 @@ mod seed_search {
     #[test]
     #[ignore = "one-off seed search utility"]
     fn find_seed() {
-        for seed in 0..1_000_000u64 {
-            let pop = ChipPopulation::generate(118, 45, DefectRates::table_iv(), seed);
-            let c = pop.test_campaign(32);
-            if (
-                c.good,
-                c.unstable_deterministic,
-                c.bad_vcs_short,
-                c.bad_vdd_short,
-                c.unstable_nondeterministic,
-            ) == (19, 7, 4, 1, 1)
-            {
-                println!("SEED={seed}");
-                return;
-            }
+        // The error path names the searched range, so an exhausted
+        // search reports exactly what was tried instead of panicking.
+        match find_table_iv_seed(0..1_000_000) {
+            Ok(seed) => println!("SEED={seed}"),
+            Err(e) => panic!("seed search failed: {e}"),
         }
-        panic!("no seed found");
+    }
+
+    #[test]
+    fn exhausted_search_names_its_range() {
+        // A range too small to contain a Table IV seed: the error says
+        // exactly what was searched.
+        let err = find_table_iv_seed(0..3).unwrap_err();
+        assert_eq!(err, PitonError::SeedNotFound { lo: 0, hi: 3 });
+        assert_eq!(
+            err.to_string(),
+            "no seed in 0..3 reproduces the Table IV counts"
+        );
+        // And the known-good seed is inside any range covering it.
+        assert_eq!(
+            find_table_iv_seed(PITON_RUN_SEED..PITON_RUN_SEED + 1).unwrap(),
+            PITON_RUN_SEED
+        );
     }
 }

@@ -27,6 +27,7 @@
 //! ```
 
 use piton_arch::config::ChipConfig;
+use piton_arch::error::PitonError;
 use piton_arch::units::{Hertz, Joules, Seconds, Volts, Watts};
 use piton_power::model::{OperatingPoint, PowerModel, RailPower};
 use piton_power::thermal::{Cooling, ThermalModel};
@@ -34,8 +35,9 @@ use piton_power::{Calibration, ChipCorner, TechModel};
 use piton_sim::machine::Machine;
 use serde::{Deserialize, Serialize};
 
-use crate::monitor::{window_duration, Measured, MeasurementWindow, MonitorChannel};
-use crate::population::NamedChip;
+use crate::fault::FaultPlan;
+use crate::monitor::{window_duration, Measured, MeasurementWindow, MonitorChannel, Quality};
+use crate::population::{Die, NamedChip};
 use crate::supply::PowerRails;
 
 /// Default simulated cycles backing one monitor sample.
@@ -52,6 +54,9 @@ pub struct RailMeasurement {
     pub vio: Measured,
     /// VDD + VCS — the chip power the paper reports.
     pub total: Measured,
+    /// Bench-side health of the window that produced this measurement
+    /// (all-zero when no fault plan is attached).
+    pub quality: Quality,
 }
 
 /// Result of running a finite workload to completion under measurement.
@@ -81,6 +86,8 @@ pub struct PitonSystem {
     mon_vdd: MonitorChannel,
     mon_vcs: MonitorChannel,
     mon_vio: MonitorChannel,
+    fault: Option<FaultPlan>,
+    core_mask: u32,
 }
 
 impl PitonSystem {
@@ -99,7 +106,50 @@ impl PitonSystem {
             mon_vdd: MonitorChannel::piton_board(seed),
             mon_vcs: MonitorChannel::piton_board(seed.wrapping_add(1)),
             mon_vio: MonitorChannel::piton_board(seed.wrapping_add(2)),
+            fault: None,
+            core_mask: 0,
         }
+    }
+
+    /// Builds the degraded system a specific packaged die yields: its
+    /// process corner, with its faulty cores fused off (routers still
+    /// forwarding) exactly as the paper ran its 24-core chips.
+    #[must_use]
+    pub fn for_die(die: &Die, seed: u64) -> Self {
+        let mut sys = Self::new(&ChipConfig::piton(), die.corner, seed);
+        sys.set_core_mask(die.faulty_core_mask());
+        sys
+    }
+
+    /// Attaches a fault plan: monitor channels start drawing injected
+    /// faults and [`Self::try_measure`] honours the plan's brownout
+    /// window. Without monitor-fault rates and brownout this is a no-op
+    /// (measurement stays byte-identical to the fault-free bench).
+    pub fn inject_faults(&mut self, plan: &FaultPlan) {
+        self.mon_vdd.attach_faults(plan);
+        self.mon_vcs.attach_faults(plan);
+        self.mon_vio.attach_faults(plan);
+        self.fault = Some(plan.clone());
+    }
+
+    /// The attached fault plan, if any.
+    #[must_use]
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref()
+    }
+
+    /// Fuses off the cores in `mask` (bit *i* = tile *i*); their routers
+    /// keep forwarding. The mask survives [`Self::reset_machine`], like
+    /// real fused-off silicon.
+    pub fn set_core_mask(&mut self, mask: u32) {
+        self.core_mask = mask;
+        self.machine.apply_core_mask(mask);
+    }
+
+    /// The fused-off core mask.
+    #[must_use]
+    pub fn core_mask(&self) -> u32 {
+        self.core_mask
     }
 
     /// Chip #1: fast but leaky.
@@ -131,9 +181,11 @@ impl PitonSystem {
         &mut self.machine
     }
 
-    /// Replaces the machine with a fresh idle one (power-cycle).
+    /// Replaces the machine with a fresh idle one (power-cycle). Fused
+    /// off cores stay fused off.
     pub fn reset_machine(&mut self) {
         self.machine = Machine::new(&self.machine.config().clone());
+        self.machine.apply_core_mask(self.core_mask);
     }
 
     /// The power model of the socketed die.
@@ -202,6 +254,18 @@ impl PitonSystem {
         self.model.power(&delta, self.operating_point())
     }
 
+    /// Chunk power with VDD/VCS sagged to `factor` of their setpoints —
+    /// what the chip actually draws during a supply brownout.
+    fn chunk_power_browned(&mut self, factor: f64) -> RailPower {
+        let before = self.machine.counters().clone();
+        self.machine.run(self.chunk_cycles);
+        let delta = self.machine.counters().delta_since(&before);
+        let mut op = self.operating_point();
+        op.vdd = Volts(op.vdd.0 * factor);
+        op.vcs = Volts(op.vcs.0 * factor);
+        self.model.power(&delta, op)
+    }
+
     /// Runs the machine for `cycles` without measuring (reaching the
     /// steady state the paper requires before sampling), settling the
     /// thermal state to the resulting power.
@@ -226,28 +290,84 @@ impl PitonSystem {
 
     /// Collects a measurement window of `samples` monitor polls while
     /// the loaded workload runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the attached fault plan drops *every* sample of a rail
+    /// window — use [`Self::try_measure`] where that must be survivable.
     pub fn measure(&mut self, samples: usize) -> RailMeasurement {
+        self.try_measure(samples)
+            .expect("measurement window fully dropped under fault plan")
+    }
+
+    /// Fallible [`Self::measure`]: collects the window under the
+    /// attached fault plan (injected monitor faults, bounded retry,
+    /// brownout sag, outlier rejection), reporting what the bench had to
+    /// tolerate in the result's `quality`.
+    ///
+    /// Without an attached plan the sampling sequence — and therefore
+    /// every byte of downstream output — is identical to the historical
+    /// infallible path.
+    ///
+    /// # Errors
+    ///
+    /// [`PitonError::EmptyWindow`] if every sample of some rail was
+    /// dropped.
+    pub fn try_measure(&mut self, samples: usize) -> Result<RailMeasurement, PitonError> {
         let dt = Seconds(window_duration(samples).0 / samples as f64);
         let mut w_vdd = MeasurementWindow::new();
         let mut w_vcs = MeasurementWindow::new();
         let mut w_vio = MeasurementWindow::new();
         let mut w_tot = MeasurementWindow::new();
-        for _ in 0..samples {
-            let p = self.chunk_power();
+        let mut quality = Quality::default();
+        let faulty = self
+            .fault
+            .as_ref()
+            .is_some_and(|p| p.has_monitor_faults() || p.brownout.is_some());
+        let brownout = self.fault.as_ref().and_then(|p| p.brownout);
+        for i in 0..samples {
+            let p = match brownout.filter(|b| b.covers(i)) {
+                Some(b) => self.chunk_power_browned(b.factor),
+                None => self.chunk_power(),
+            };
             self.thermal.step(p.total_with_io() * 0.9, dt);
-            let svdd = self.mon_vdd.sample(p.vdd);
-            let svcs = self.mon_vcs.sample(p.vcs);
-            let svio = self.mon_vio.sample(p.vio);
-            w_vdd.push(svdd);
-            w_vcs.push(svcs);
-            w_vio.push(svio);
-            w_tot.push(svdd + svcs);
+            if faulty {
+                let svdd = self.mon_vdd.sample_with_retry(p.vdd, &mut quality);
+                let svcs = self.mon_vcs.sample_with_retry(p.vcs, &mut quality);
+                let svio = self.mon_vio.sample_with_retry(p.vio, &mut quality);
+                w_vdd.extend(svdd);
+                w_vcs.extend(svcs);
+                w_vio.extend(svio);
+                if let (Some(a), Some(b)) = (svdd, svcs) {
+                    w_tot.push(a + b);
+                }
+            } else {
+                let svdd = self.mon_vdd.sample(p.vdd);
+                let svcs = self.mon_vcs.sample(p.vcs);
+                let svio = self.mon_vio.sample(p.vio);
+                w_vdd.push(svdd);
+                w_vcs.push(svcs);
+                w_vio.push(svio);
+                w_tot.push(svdd + svcs);
+            }
         }
-        RailMeasurement {
-            vdd: Measured::from_window(&w_vdd),
-            vcs: Measured::from_window(&w_vcs),
-            vio: Measured::from_window(&w_vio),
-            total: Measured::from_window(&w_tot),
+        if faulty {
+            Ok(RailMeasurement {
+                vdd: w_vdd.robust_stats(&mut quality)?,
+                vcs: w_vcs.robust_stats(&mut quality)?,
+                vio: w_vio.robust_stats(&mut quality)?,
+                total: w_tot.robust_stats(&mut quality)?,
+                quality,
+            })
+        } else {
+            quality.kept = u32::try_from(3 * samples).expect("window fits in u32");
+            Ok(RailMeasurement {
+                vdd: Measured::from_window(&w_vdd)?,
+                vcs: Measured::from_window(&w_vcs)?,
+                vio: Measured::from_window(&w_vio)?,
+                total: Measured::from_window(&w_tot)?,
+                quality,
+            })
         }
     }
 
@@ -281,7 +401,7 @@ impl PitonSystem {
         for _ in 0..64 {
             w.push(self.mon_vdd.sample(p));
         }
-        Measured::from_window(&w)
+        Measured::from_window(&w).expect("static window is never empty")
     }
 
     /// Runs the loaded workload to completion (or `max_cycles`),
@@ -426,6 +546,108 @@ mod tests {
         sys.set_frequency(Hertz::from_mhz(285.74));
         let at_low = sys.measure_idle_power();
         assert!(at_low.mean < at_nominal.mean * 0.7);
+    }
+
+    #[test]
+    fn no_fault_plan_measurement_is_byte_identical_to_the_plain_path() {
+        let mut plain = PitonSystem::reference_chip_2();
+        let mut planned = PitonSystem::reference_chip_2();
+        // A plan with zero rates and no brownout must not perturb a bit.
+        planned.inject_faults(&crate::fault::FaultPlan {
+            drop_rate: 0.0,
+            stuck_rate: 0.0,
+            glitch_rate: 0.0,
+            ..crate::fault::FaultPlan::with_seed(1)
+        });
+        plain.set_chunk_cycles(500);
+        planned.set_chunk_cycles(500);
+        let a = plain.measure(16);
+        let b = planned.try_measure(16).unwrap();
+        assert_eq!(a.total, b.total);
+        assert_eq!(a.vdd, b.vdd);
+        assert_eq!(a.vio, b.vio);
+    }
+
+    #[test]
+    fn faulty_measurement_degrades_gracefully_and_reports_quality() {
+        let plan = crate::fault::FaultPlan {
+            drop_rate: 0.05,
+            stuck_rate: 0.03,
+            glitch_rate: 0.04,
+            ..crate::fault::FaultPlan::with_seed(77)
+        };
+        let mut clean = PitonSystem::reference_chip_2();
+        let mut faulty = PitonSystem::reference_chip_2();
+        faulty.inject_faults(&plan);
+        clean.set_chunk_cycles(500);
+        faulty.set_chunk_cycles(500);
+        clean.reset_machine();
+        faulty.reset_machine();
+        clean.warm_up(5_000);
+        faulty.warm_up(5_000);
+        let a = clean.measure(64);
+        let b = faulty.try_measure(64).unwrap();
+        assert!(!b.quality.is_clean(), "quality: {}", b.quality);
+        // Outlier rejection keeps the degraded mean in the noise band.
+        assert!(
+            (a.total.mean.as_mw() - b.total.mean.as_mw()).abs() < 8.0,
+            "clean {} vs faulty {}",
+            a.total.mean,
+            b.total.mean
+        );
+    }
+
+    #[test]
+    fn brownout_sag_is_rejected_as_outliers() {
+        let plan = crate::fault::FaultPlan {
+            brownout: Some(crate::fault::Brownout {
+                start_sample: 20,
+                samples: 8,
+                factor: 0.85,
+            }),
+            drop_rate: 0.0,
+            stuck_rate: 0.0,
+            glitch_rate: 0.0,
+            ..crate::fault::FaultPlan::with_seed(3)
+        };
+        let mut sys = PitonSystem::reference_chip_2();
+        sys.inject_faults(&plan);
+        sys.set_chunk_cycles(500);
+        sys.reset_machine();
+        sys.warm_up(5_000);
+        let m = sys.try_measure(64).unwrap();
+        assert!(
+            m.quality.rejected >= 8,
+            "brownout samples must be rejected: {}",
+            m.quality
+        );
+        assert!(
+            (m.total.mean.as_mw() - 2015.3).abs() < 30.0,
+            "{}",
+            m.total.mean
+        );
+    }
+
+    #[test]
+    fn for_die_fuses_off_faulty_cores_across_resets() {
+        use crate::population::{ChipStatus, Die};
+        use piton_power::ChipCorner;
+        let die = Die {
+            serial: 7,
+            corner: ChipCorner::default(),
+            status: ChipStatus::UnstableDeterministic,
+            packaged: true,
+        };
+        let mask = die.faulty_core_mask();
+        assert!(mask.count_ones() >= 1 && mask.count_ones() <= 2);
+        let mut sys = PitonSystem::for_die(&die, 9);
+        assert_eq!(sys.machine().disabled_cores(), mask.count_ones() as usize);
+        sys.reset_machine();
+        assert_eq!(
+            sys.machine().disabled_cores(),
+            mask.count_ones() as usize,
+            "fused-off cores must survive a power cycle"
+        );
     }
 
     #[test]

@@ -5,14 +5,16 @@
 //! microbenchmark die); full-chip power is measured per point and a
 //! linear fit gives the mW/core trendline.
 
+use piton_arch::error::PitonError;
 use piton_arch::units::Watts;
+use piton_board::fault::{self, FaultPlan};
 use piton_board::system::PitonSystem;
 use piton_workloads::micro::{load_microbenchmark, Microbenchmark, RunLength, ThreadsPerCore};
 use serde::{Deserialize, Serialize};
 
 use super::Fidelity;
 use crate::measure::linear_fit;
-use crate::report::Table;
+use crate::report::{render_holes, Hole, Table, HOLE_MARK};
 use crate::runner;
 
 /// One (benchmark, T/C) power-versus-cores series.
@@ -35,6 +37,8 @@ pub struct CoreScalingResult {
     pub series: Vec<ScalingSeries>,
     /// Chip #3 idle power (the paper reports 1906.2 mW).
     pub idle: Watts,
+    /// Grid points lost to injected faults (empty without a fault plan).
+    pub holes: Vec<Hole>,
 }
 
 /// Paper trendlines in mW/core: `(bench, tpc, slope)`.
@@ -50,18 +54,30 @@ pub fn paper_reference() -> Vec<(Microbenchmark, ThreadsPerCore, f64)> {
     ]
 }
 
+/// Figure 13 point label, shared by the sweep and the hole trailer.
+fn point_label(bench: Microbenchmark, tpc: ThreadsPerCore, cores: usize) -> String {
+    format!("{} {} @ {cores} cores", bench.label(), tpc.label())
+}
+
 fn measure_point(
     bench: Microbenchmark,
     cores: usize,
     tpc: ThreadsPerCore,
     fidelity: Fidelity,
-) -> f64 {
+    plan: Option<&FaultPlan>,
+    seed: u64,
+) -> Result<f64, PitonError> {
     let mut sys = PitonSystem::reference_chip_3();
     sys.set_chunk_cycles(fidelity.chunk_cycles);
+    if let Some(plan) = plan {
+        let mut plan = plan.clone();
+        plan.seed ^= seed;
+        sys.inject_faults(&plan);
+    }
     let threads = cores * tpc.count();
     load_microbenchmark(sys.machine_mut(), bench, threads, tpc, RunLength::Forever);
     sys.warm_up(fidelity.warmup_cycles);
-    sys.measure(fidelity.samples).total.mean.0
+    Ok(sys.try_measure(fidelity.samples)?.total.mean.0)
 }
 
 /// Runs the Figure 13 sweep over the given core counts (the harness
@@ -71,6 +87,7 @@ pub fn run_with_cores(core_counts: &[usize], fidelity: Fidelity) -> CoreScalingR
     let mut idle_sys = PitonSystem::reference_chip_3();
     idle_sys.set_chunk_cycles(fidelity.chunk_cycles);
     let idle = idle_sys.measure_idle_power().mean;
+    let plan = fidelity.fault.map(fault::lookup);
 
     // 3 benchmarks × 2 T/C × core counts, all independent systems.
     let grid: Vec<(Microbenchmark, ThreadsPerCore, usize)> = Microbenchmark::ALL
@@ -81,10 +98,34 @@ pub fn run_with_cores(core_counts: &[usize], fidelity: Fidelity) -> CoreScalingR
                 .flat_map(move |tpc| core_counts.iter().map(move |&c| (bench, tpc, c)))
         })
         .collect();
-    let watts = runner::sweep(fidelity.jobs, grid, |_, (bench, tpc, cores)| {
-        measure_point(bench, cores, tpc, fidelity)
-    });
+    let watts = runner::try_sweep(
+        fidelity.jobs,
+        grid.clone(),
+        runner::RetryPolicy::default(),
+        |index, &(bench, tpc, cores), attempt| {
+            if let Some(plan) = &plan {
+                fault::sabotage_gate(plan, "scaling", index, attempt)?;
+            }
+            measure_point(
+                bench,
+                cores,
+                tpc,
+                fidelity,
+                plan.as_ref(),
+                ((index as u64) << 32) ^ u64::from(attempt),
+            )
+        },
+    );
 
+    let mut holes: Vec<Hole> = grid
+        .iter()
+        .zip(&watts)
+        .filter_map(|(&(bench, tpc, cores), r)| {
+            r.as_ref()
+                .err()
+                .map(|e| Hole::from_point("scaling", point_label(bench, tpc, cores), e))
+        })
+        .collect();
     let series = Microbenchmark::ALL
         .into_iter()
         .flat_map(|bench| [ThreadsPerCore::One, ThreadsPerCore::Two].map(|tpc| (bench, tpc)))
@@ -93,10 +134,23 @@ pub fn run_with_cores(core_counts: &[usize], fidelity: Fidelity) -> CoreScalingR
             let points: Vec<(usize, f64)> = core_counts
                 .iter()
                 .copied()
-                .zip(chunk.iter().copied())
+                .zip(chunk.iter())
+                .filter_map(|(c, r)| r.as_ref().ok().map(|&w| (c, w)))
                 .collect();
             let fit: Vec<(f64, f64)> = points.iter().map(|&(c, w)| (c as f64, w)).collect();
-            let (_, slope_w) = linear_fit(&fit);
+            let slope_w = match linear_fit(&fit) {
+                Ok((_, slope)) => slope,
+                Err(e) => {
+                    holes.push(Hole {
+                        section: "scaling".to_owned(),
+                        index: 0,
+                        point: format!("{} {} trendline", bench.label(), tpc.label()),
+                        attempts: 0,
+                        error: e.to_string(),
+                    });
+                    0.0
+                }
+            };
             ScalingSeries {
                 bench,
                 tpc,
@@ -105,7 +159,11 @@ pub fn run_with_cores(core_counts: &[usize], fidelity: Fidelity) -> CoreScalingR
             }
         })
         .collect();
-    CoreScalingResult { series, idle }
+    CoreScalingResult {
+        series,
+        idle,
+        holes,
+    }
 }
 
 /// Runs the full 1..=25-core sweep.
@@ -149,11 +207,20 @@ impl CoreScalingResult {
         let mut out = t.render();
         out.push_str("\nPer-point power (W):\n");
         for s in &self.series {
-            let pts: Vec<String> = s
+            let mut pts: Vec<String> = s
                 .points
                 .iter()
                 .map(|(c, w)| format!("{c}:{w:.3}"))
                 .collect();
+            for h in &self.holes {
+                if let Some(cores) = h
+                    .point
+                    .strip_prefix(&format!("{} {} @ ", s.bench.label(), s.tpc.label()))
+                    .and_then(|rest| rest.strip_suffix(" cores"))
+                {
+                    pts.push(format!("{cores}:{HOLE_MARK}"));
+                }
+            }
             out.push_str(&format!(
                 "  {} {}: {}\n",
                 s.bench.label(),
@@ -161,6 +228,7 @@ impl CoreScalingResult {
                 pts.join(" ")
             ));
         }
+        out.push_str(&render_holes(&self.holes));
         out
     }
 }

@@ -7,14 +7,16 @@
 //! minimum/random/maximum operand values. The `stx (NF)` case subtracts
 //! the energy of its nine drain-`nop`s, exactly as §IV-E describes.
 
+use piton_arch::error::PitonError;
 use piton_arch::isa::{Opcode, OperandPattern};
+use piton_board::fault::{self, FaultPlan};
 use piton_board::system::PitonSystem;
 use piton_workloads::epi::{epi_test, EpiCase, StoreVariant, STX_DRAIN_NOPS};
 use serde::{Deserialize, Serialize};
 
 use super::Fidelity;
 use crate::measure::{epi_with_error, WithError};
-use crate::report::Table;
+use crate::report::{render_holes, Hole, Table, HOLE_MARK};
 use crate::runner;
 
 /// EPI of one case under each operand pattern (pJ).
@@ -47,6 +49,8 @@ pub struct EpiResult {
     pub rows: Vec<EpiRow>,
     /// Measured idle power used in the subtraction (mW).
     pub idle_mw: f64,
+    /// Grid points lost to injected faults (empty without a fault plan).
+    pub holes: Vec<Hole>,
 }
 
 /// Paper anchors (random operands) readable from Figure 11 / §IV-E
@@ -57,22 +61,41 @@ pub fn paper_ldx_epi_pj() -> f64 {
     286.46
 }
 
+/// Decorrelates the monitor-fault stream of one sweep attempt from
+/// every other point and attempt; the plan seed is further mixed per
+/// channel, so a plain xor suffices for distinctness.
+fn attempt_seed(index: usize, attempt: u32) -> u64 {
+    ((index as u64) << 32) ^ u64::from(attempt)
+}
+
+/// Figure 11 cell label, shared by the sweep and the hole trailer.
+fn point_label(case: EpiCase, pattern: OperandPattern) -> String {
+    format!("{}/{}", case.label(), pattern)
+}
+
 fn measure_case(
     case: EpiCase,
     pattern: OperandPattern,
     idle: (f64, f64),
     fidelity: Fidelity,
     nop_epi: Option<f64>,
-) -> WithError {
+    plan: Option<&FaultPlan>,
+    seed: u64,
+) -> Result<WithError, PitonError> {
     let mut sys = PitonSystem::reference_chip_2();
     sys.set_chunk_cycles(fidelity.chunk_cycles);
+    if let Some(plan) = plan {
+        let mut plan = plan.clone();
+        plan.seed ^= seed;
+        sys.inject_faults(&plan);
+    }
     for t in 0..25 {
         let p = epi_test(case, pattern, t);
         sys.machine_mut()
             .load_thread(piton_arch::TileId::new(t), 0, p);
     }
     sys.warm_up(fidelity.warmup_cycles);
-    let m = sys.measure(fidelity.samples);
+    let m = sys.try_measure(fidelity.samples)?;
     let f = sys.frequency();
     let latency = case.opcode().base_latency();
     let mut epi = epi_with_error(
@@ -89,7 +112,7 @@ fn measure_case(
         let nop = nop_epi.expect("nop EPI measured before stx (NF)");
         epi.value -= STX_DRAIN_NOPS as f64 * nop;
     }
-    epi
+    Ok(epi)
 }
 
 /// Runs a chosen subset of cases (tests use a few; the harness runs all).
@@ -102,18 +125,24 @@ pub fn run_cases(cases: &[EpiCase], fidelity: Fidelity) -> EpiResult {
     let idle_m = sys.measure(fidelity.samples);
     let idle = (idle_m.total.mean.0, idle_m.total.stddev.0);
 
-    // nop EPI first (needed by the stx (NF) subtraction).
+    // nop EPI first (needed by the stx (NF) subtraction); baselines are
+    // always measured fault-free so one glitchy window cannot poison
+    // every row of the table.
     let nop_epi = measure_case(
         EpiCase::Plain(Opcode::Nop),
         OperandPattern::Random,
         idle,
         fidelity,
         None,
-    );
+        None,
+        0,
+    )
+    .expect("fault-free baseline measurement cannot fail");
 
     // Every remaining (case, pattern) point builds its own system, so
     // the grid fans out across the sweep workers; regrouping by case
     // afterwards keeps the row order identical at any jobs level.
+    let plan = fidelity.fault.map(fault::lookup);
     let grid: Vec<(EpiCase, OperandPattern)> = cases
         .iter()
         .flat_map(|&case| {
@@ -125,14 +154,39 @@ pub fn run_cases(cases: &[EpiCase], fidelity: Fidelity) -> EpiResult {
             patterns.iter().map(move |&p| (case, p))
         })
         .collect();
-    let measured = runner::sweep(fidelity.jobs, grid.clone(), |_, (case, pattern)| {
-        if case == EpiCase::Plain(Opcode::Nop) {
-            nop_epi
-        } else {
-            measure_case(case, pattern, idle, fidelity, Some(nop_epi.value))
-        }
-    });
+    let measured = runner::try_sweep(
+        fidelity.jobs,
+        grid.clone(),
+        runner::RetryPolicy::default(),
+        |index, &(case, pattern), attempt| {
+            if let Some(plan) = &plan {
+                fault::sabotage_gate(plan, "epi", index, attempt)?;
+            }
+            if case == EpiCase::Plain(Opcode::Nop) {
+                Ok(nop_epi)
+            } else {
+                measure_case(
+                    case,
+                    pattern,
+                    idle,
+                    fidelity,
+                    Some(nop_epi.value),
+                    plan.as_ref(),
+                    attempt_seed(index, attempt),
+                )
+            }
+        },
+    );
 
+    let holes: Vec<Hole> = grid
+        .iter()
+        .zip(&measured)
+        .filter_map(|(&(case, pattern), r)| {
+            r.as_ref()
+                .err()
+                .map(|e| Hole::from_point("epi", point_label(case, pattern), e))
+        })
+        .collect();
     let rows = cases
         .iter()
         .map(|&case| EpiRow {
@@ -142,13 +196,14 @@ pub fn run_cases(cases: &[EpiCase], fidelity: Fidelity) -> EpiResult {
                 .iter()
                 .zip(&measured)
                 .filter(|((c, _), _)| *c == case)
-                .map(|(&(_, p), &e)| (p, e))
+                .filter_map(|(&(_, p), e)| e.as_ref().ok().map(|&e| (p, e)))
                 .collect(),
         })
         .collect();
     EpiResult {
         rows,
         idle_mw: idle.0 * 1e3,
+        holes,
     }
 }
 
@@ -209,8 +264,17 @@ impl EpiResult {
         ]);
         for r in &self.rows {
             let fmt = |p: OperandPattern| {
-                r.at(p)
-                    .map_or_else(|| "-".to_owned(), |e| format!("{e:.0}"))
+                r.at(p).map_or_else(
+                    || {
+                        let label = format!("{}/{p}", r.label);
+                        if self.holes.iter().any(|h| h.covers(&label)) {
+                            HOLE_MARK.to_owned()
+                        } else {
+                            "-".to_owned()
+                        }
+                    },
+                    |e| format!("{e:.0}"),
+                )
             };
             t.row([
                 r.label.clone(),
@@ -220,7 +284,9 @@ impl EpiResult {
                 fmt(OperandPattern::Maximum),
             ]);
         }
-        t.render()
+        let mut out = t.render();
+        out.push_str(&render_holes(&self.holes));
+        out
     }
 }
 

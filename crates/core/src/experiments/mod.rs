@@ -35,6 +35,7 @@ pub mod thermal;
 pub mod vf_sweep;
 pub mod yield_stats;
 
+use piton_board::fault::FaultToken;
 use serde::{Deserialize, Serialize};
 
 /// Measurement effort knob: how many monitor samples back each reported
@@ -53,6 +54,10 @@ pub struct Fidelity {
     /// byte-identical at every setting because each grid point builds
     /// its own isolated system.
     pub jobs: usize,
+    /// Registered fault-injection plan, if any (see
+    /// [`piton_board::fault`]). `None` runs the historical fault-free
+    /// path, byte-identical to builds before fault injection existed.
+    pub fault: Option<FaultToken>,
 }
 
 impl Fidelity {
@@ -64,6 +69,7 @@ impl Fidelity {
             chunk_cycles: 20_000,
             warmup_cycles: 300_000,
             jobs: 1,
+            fault: None,
         }
     }
 
@@ -75,6 +81,7 @@ impl Fidelity {
             chunk_cycles: 3_000,
             warmup_cycles: 30_000,
             jobs: 1,
+            fault: None,
         }
     }
 
@@ -82,6 +89,14 @@ impl Fidelity {
     #[must_use]
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Same fidelity with a registered fault plan injected into every
+    /// experiment sweep.
+    #[must_use]
+    pub fn with_fault(mut self, token: FaultToken) -> Self {
+        self.fault = Some(token);
         self
     }
 }

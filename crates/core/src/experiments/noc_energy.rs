@@ -9,13 +9,14 @@
 //! over hops gives the paper's pJ/hop trendlines.
 
 use piton_arch::topology::TileId;
+use piton_board::fault;
 use piton_board::system::PitonSystem;
 use piton_sim::machine::SwitchPattern;
 use serde::{Deserialize, Serialize};
 
 use super::Fidelity;
 use crate::measure::{epf_pj, linear_fit};
-use crate::report::Table;
+use crate::report::{render_holes, Hole, Table, HOLE_MARK};
 use crate::runner;
 
 /// EPF series for one switching pattern.
@@ -35,6 +36,8 @@ pub struct PatternSeries {
 pub struct NocEnergyResult {
     /// One series per switching pattern.
     pub series: Vec<PatternSeries>,
+    /// Grid points lost to injected faults (empty without a fault plan).
+    pub holes: Vec<Hole>,
 }
 
 /// Paper trendlines (pJ/hop): NSW 3.58, HSW 11.16, FSW 16.68,
@@ -74,7 +77,12 @@ fn measure_power(
         let p = sys.power_model().power(&delta, sys.operating_point());
         window.push(p.total());
     }
-    window.mean()
+    window.mean().expect("traffic window is never empty")
+}
+
+/// Figure 12 cell label, shared by the sweep and the hole trailer.
+fn point_label(pattern: SwitchPattern, hops: usize) -> String {
+    format!("{} hop {hops}", pattern.label())
 }
 
 /// Runs the Figure 12 sweep.
@@ -82,6 +90,7 @@ fn measure_power(
 pub fn run(fidelity: Fidelity) -> NocEnergyResult {
     let mesh = piton_arch::topology::Mesh::piton();
     let f = piton_arch::units::Hertz::from_mhz(500.05);
+    let plan = fidelity.fault.map(fault::lookup);
     // 4 patterns × hops 0..=8, every point an isolated system; hop 0 is
     // the pattern's baseline power the others subtract.
     let grid: Vec<(usize, SwitchPattern, usize)> = SwitchPattern::ALL
@@ -89,32 +98,77 @@ pub fn run(fidelity: Fidelity) -> NocEnergyResult {
         .enumerate()
         .flat_map(|(i, pattern)| (0..=8usize).map(move |hops| (i, pattern, hops)))
         .collect();
-    let powers = runner::sweep(fidelity.jobs, grid, |_, (i, pattern, hops)| {
-        let dst = mesh
-            .tile_at_distance(TileId::new(0), hops)
-            .expect("5x5 mesh covers 0..=8 hops");
-        measure_power(pattern, dst, fidelity, 0xE0 + i as u64)
-    });
+    let powers = runner::try_sweep(
+        fidelity.jobs,
+        grid,
+        runner::RetryPolicy::default(),
+        |index, &(i, pattern, hops), attempt| {
+            if let Some(plan) = &plan {
+                fault::sabotage_gate(plan, "noc", index, attempt)?;
+            }
+            let dst = mesh
+                .tile_at_distance(TileId::new(0), hops)
+                .expect("5x5 mesh covers 0..=8 hops");
+            Ok(measure_power(pattern, dst, fidelity, 0xE0 + i as u64))
+        },
+    );
 
+    let mut holes = Vec::new();
     let series = SwitchPattern::ALL
         .into_iter()
         .zip(powers.chunks(9))
         .map(|(pattern, chunk)| {
-            let base = chunk[0];
-            let mut points = vec![(0usize, 0.0f64)];
-            for (hops, &p) in (1..=8usize).zip(&chunk[1..]) {
-                points.push((hops, epf_pj(p, base, f)));
+            let label = pattern.label();
+            let mut points = Vec::new();
+            match &chunk[0] {
+                Ok(base) => {
+                    points.push((0usize, 0.0f64));
+                    for (hops, r) in (1..=8usize).zip(&chunk[1..]) {
+                        match r {
+                            Ok(p) => points.push((hops, epf_pj(*p, *base, f))),
+                            Err(e) => {
+                                holes.push(Hole::from_point("noc", point_label(pattern, hops), e));
+                            }
+                        }
+                    }
+                }
+                Err(e) => {
+                    // Without the hop-0 baseline nothing in the series
+                    // can be normalized: hole every cell.
+                    holes.push(Hole::from_point("noc", point_label(pattern, 0), e));
+                    for hops in 1..=8usize {
+                        holes.push(Hole {
+                            section: "noc".to_owned(),
+                            index: e.index + hops,
+                            point: point_label(pattern, hops),
+                            attempts: 0,
+                            error: format!("baseline (hop 0) of {label} lost; cannot normalize"),
+                        });
+                    }
+                }
             }
             let fit: Vec<(f64, f64)> = points.iter().map(|&(h, e)| (h as f64, e)).collect();
-            let (_, slope) = linear_fit(&fit);
+            let slope = match linear_fit(&fit) {
+                Ok((_, slope)) => slope,
+                Err(e) => {
+                    holes.push(Hole {
+                        section: "noc".to_owned(),
+                        index: 0,
+                        point: format!("{label} trendline"),
+                        attempts: 0,
+                        error: e.to_string(),
+                    });
+                    0.0
+                }
+            };
             PatternSeries {
-                pattern: pattern.label().to_owned(),
+                pattern: label.to_owned(),
                 points,
                 pj_per_hop: slope,
             }
         })
         .collect();
-    NocEnergyResult { series }
+    NocEnergyResult { series, holes }
 }
 
 impl NocEnergyResult {
@@ -146,7 +200,17 @@ impl NocEnergyResult {
             let cell = |label: &str| {
                 self.series_for(label)
                     .and_then(|s| s.points.iter().find(|(hh, _)| *hh == h))
-                    .map_or_else(|| "-".to_owned(), |(_, e)| format!("{e:.1}"))
+                    .map_or_else(
+                        || {
+                            let point = format!("{label} hop {h}");
+                            if self.holes.iter().any(|hole| hole.covers(&point)) {
+                                HOLE_MARK.to_owned()
+                            } else {
+                                "-".to_owned()
+                            }
+                        },
+                        |(_, e)| format!("{e:.1}"),
+                    )
             };
             t.row([
                 h.to_string(),
@@ -170,6 +234,7 @@ impl NocEnergyResult {
                 crate::report::vs_paper(s.pj_per_hop, paper)
             ));
         }
+        out.push_str(&render_holes(&self.holes));
         out
     }
 }

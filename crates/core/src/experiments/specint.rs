@@ -102,7 +102,7 @@ fn measure_kernel(bench: &SpecBenchmark, fidelity: Fidelity) -> KernelMeasuremen
     let cycles = sys.machine().counters().cycles - cycles_before;
     KernelMeasurement {
         cpi: cycles as f64 / retired as f64,
-        power: window.mean(),
+        power: window.mean().expect("kernel window is never empty"),
     }
 }
 

@@ -19,6 +19,7 @@
 //!   which reduces to the EPI formula whenever the chip completes 25
 //!   concurrent operations per latency window.
 
+use piton_arch::error::PitonError;
 use piton_arch::units::{Hertz, Joules, Seconds, Watts};
 use serde::{Deserialize, Serialize};
 
@@ -99,24 +100,35 @@ pub fn energy_per_op_nj(p: Watts, p_idle: Watts, window: Seconds, ops: u64) -> f
 /// Ordinary least-squares line fit `y = a + b·x`; returns `(a, b)`.
 ///
 /// Used for the paper's trendlines (pJ/hop in Figure 12, mW/core in
-/// Figure 13).
+/// Figure 13). A fault-holed sweep can leave too few surviving points,
+/// so the degenerate cases are reported, not panicked.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics with fewer than two points or zero x-variance.
-#[must_use]
-pub fn linear_fit(points: &[(f64, f64)]) -> (f64, f64) {
-    assert!(points.len() >= 2, "need at least two points to fit");
+/// [`PitonError::DegenerateFit`] with fewer than two points or zero
+/// x-variance.
+pub fn linear_fit(points: &[(f64, f64)]) -> Result<(f64, f64), PitonError> {
+    if points.len() < 2 {
+        return Err(PitonError::DegenerateFit {
+            points: points.len(),
+            reason: "need at least two points to fit",
+        });
+    }
     let n = points.len() as f64;
     let sx: f64 = points.iter().map(|p| p.0).sum();
     let sy: f64 = points.iter().map(|p| p.1).sum();
     let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
     let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
     let denom = n * sxx - sx * sx;
-    assert!(denom.abs() > 1e-12, "degenerate x values");
+    if denom.abs() <= 1e-12 {
+        return Err(PitonError::DegenerateFit {
+            points: points.len(),
+            reason: "degenerate x values",
+        });
+    }
     let b = (n * sxy - sx * sy) / denom;
     let a = (sy - b * sx) / n;
-    (a, b)
+    Ok((a, b))
 }
 
 #[cfg(test)]
@@ -179,15 +191,32 @@ mod tests {
         let pts: Vec<(f64, f64)> = (0..9)
             .map(|x| (x as f64, 3.58 + 11.16 * x as f64))
             .collect();
-        let (a, b) = linear_fit(&pts);
+        let (a, b) = linear_fit(&pts).unwrap();
         assert!((a - 3.58).abs() < 1e-9);
         assert!((b - 11.16).abs() < 1e-9);
     }
 
     #[test]
-    #[should_panic(expected = "at least two points")]
-    fn fit_needs_points() {
-        let _ = linear_fit(&[(1.0, 1.0)]);
+    fn fit_reports_degenerate_inputs_instead_of_panicking() {
+        assert_eq!(
+            linear_fit(&[(1.0, 1.0)]).unwrap_err(),
+            PitonError::DegenerateFit {
+                points: 1,
+                reason: "need at least two points to fit"
+            }
+        );
+        // Two points at the same x: zero x-variance.
+        let e = linear_fit(&[(2.0, 1.0), (2.0, 5.0)]).unwrap_err();
+        assert!(
+            matches!(
+                e,
+                PitonError::DegenerateFit {
+                    points: 2,
+                    reason: "degenerate x values"
+                }
+            ),
+            "{e}"
+        );
     }
 
     #[test]

@@ -2,8 +2,15 @@
 //!
 //! Every experiment renders its result in the paper's row/column shape
 //! so EXPERIMENTS.md can record paper-versus-measured side by side.
+//! Sweeps that lose grid points to injected faults report them as
+//! [`Hole`]s, rendered in an explicit trailer so a partially-failed
+//! table can never be mistaken for a complete one.
 
 use std::fmt::Write as _;
+
+use serde::{Deserialize, Serialize};
+
+use crate::runner::PointError;
 
 /// A simple monospace table builder.
 #[derive(Debug, Default, Clone)]
@@ -144,6 +151,68 @@ impl std::fmt::Display for Table {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(&self.render())
     }
+}
+
+/// A sweep grid point that failed permanently (every retry exhausted or
+/// a non-transient error) and is rendered as an explicit hole rather
+/// than silently dropped.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Hole {
+    /// Sweep section tag (`"epi"`, `"noc"`, `"scaling"`).
+    pub section: String,
+    /// Grid-point index within that sweep.
+    pub index: usize,
+    /// Human-readable point label (matches the table cell it holes).
+    pub point: String,
+    /// Attempts made before giving up.
+    pub attempts: u32,
+    /// The final panic or error message.
+    pub error: String,
+}
+
+impl Hole {
+    /// Builds a hole from a failed sweep point.
+    #[must_use]
+    pub fn from_point(section: &str, point: String, e: &PointError) -> Self {
+        Self {
+            section: section.to_owned(),
+            index: e.index,
+            point,
+            attempts: e.attempts,
+            error: e.failure.to_string(),
+        }
+    }
+
+    /// Whether this hole covers the named point label.
+    #[must_use]
+    pub fn covers(&self, point: &str) -> bool {
+        self.point == point
+    }
+}
+
+/// Marker rendered in table cells lost to a hole (distinct from `-`,
+/// which means "not part of this sweep").
+pub const HOLE_MARK: &str = "✗";
+
+/// Renders the hole trailer for a table: empty when the sweep was
+/// complete, so fault-free output stays byte-identical.
+#[must_use]
+pub fn render_holes(holes: &[Hole]) -> String {
+    if holes.is_empty() {
+        return String::new();
+    }
+    let mut out = format!(
+        "\nHoles ({} grid point(s) lost to faults; marked {HOLE_MARK}):\n",
+        holes.len()
+    );
+    for h in holes {
+        let _ = writeln!(
+            out,
+            "  {HOLE_MARK} {}:{} {} — {} (after {} attempt(s))",
+            h.section, h.index, h.point, h.error, h.attempts
+        );
+    }
+    out
 }
 
 /// Formats a ratio of measured to paper value as a percentage string.

@@ -27,6 +27,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use piton_arch::error::PitonError;
+
 /// Accumulated sweep timing: how much point work ran (`busy`) versus
 /// how long the sweeps took end to end (`wall`).
 #[derive(Debug, Default, Clone, Copy)]
@@ -170,6 +172,128 @@ where
     out
 }
 
+/// Retry policy of a fault-isolated sweep: how many attempts each grid
+/// point gets before its failure becomes a hole.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per point (first try included).
+    pub max_attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self { max_attempts: 3 }
+    }
+}
+
+/// How a grid point ultimately failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PointFailure {
+    /// The point panicked (payload text preserved).
+    Panicked(String),
+    /// The point returned an error.
+    Failed(PitonError),
+}
+
+/// A grid point that failed all its attempts — the marked hole in the
+/// sweep's output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PointError {
+    /// Grid index of the failed point.
+    pub index: usize,
+    /// Attempts made (= the policy's `max_attempts`, or fewer when the
+    /// failure was not worth retrying).
+    pub attempts: u32,
+    /// The final failure.
+    pub failure: PointFailure,
+}
+
+impl std::fmt::Display for PointFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Panicked(msg) => write!(f, "panic: {msg}"),
+            Self::Failed(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::fmt::Display for PointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "point {} failed after {} attempt(s): {}",
+            self.index, self.attempts, self.failure
+        )
+    }
+}
+
+/// Renders a caught panic payload (the two shapes `panic!` produces).
+fn payload_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_owned()
+    }
+}
+
+/// Fault-isolated [`sweep`]: every grid point runs under
+/// [`std::panic::catch_unwind`], panics and transient errors are
+/// retried up to the policy's `max_attempts` (the attempt number is
+/// passed to `f`, so points can reseed per attempt), and each point
+/// independently resolves to `Ok(T)` or a [`PointError`] — one bad
+/// point can no longer abort a whole section.
+///
+/// Non-transient errors ([`PitonError::is_transient`] false) fail
+/// immediately: retrying a deterministic failure cannot help.
+/// Scheduling, ordering and stats behave exactly like [`sweep`], so
+/// output stays byte-identical at any jobs level.
+pub fn try_sweep<I, T, F>(
+    jobs: usize,
+    items: Vec<I>,
+    policy: RetryPolicy,
+    f: F,
+) -> Vec<Result<T, PointError>>
+where
+    I: Send,
+    T: Send,
+    F: Fn(usize, &I, u32) -> Result<T, PitonError> + Sync,
+{
+    let max_attempts = policy.max_attempts.max(1);
+    sweep(jobs, items, |idx, item| {
+        let mut attempt = 0;
+        loop {
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(idx, &item, attempt)))
+            {
+                Ok(Ok(v)) => return Ok(v),
+                Ok(Err(e)) => {
+                    if e.is_transient() && attempt + 1 < max_attempts {
+                        attempt += 1;
+                        continue;
+                    }
+                    return Err(PointError {
+                        index: idx,
+                        attempts: attempt + 1,
+                        failure: PointFailure::Failed(e),
+                    });
+                }
+                Err(payload) => {
+                    if attempt + 1 < max_attempts {
+                        attempt += 1;
+                        continue;
+                    }
+                    return Err(PointError {
+                        index: idx,
+                        attempts: attempt + 1,
+                        failure: PointFailure::Panicked(payload_text(payload.as_ref())),
+                    });
+                }
+            }
+        }
+    })
+}
+
 /// The number of worker threads to use when the caller doesn't say:
 /// `PITON_JOBS` if set (clamped to at least 1), otherwise the machine's
 /// available parallelism.
@@ -230,6 +354,99 @@ mod tests {
             assert!(i != 3, "grid point 3 exploded");
             x
         });
+    }
+
+    #[test]
+    fn try_sweep_isolates_a_panicking_point() {
+        let out = try_sweep(4, (0u64..8).collect(), RetryPolicy::default(), |i, x, _| {
+            assert!(i != 3, "grid point 3 exploded");
+            Ok(x * 10)
+        });
+        assert_eq!(out.len(), 8);
+        for (i, r) in out.iter().enumerate() {
+            if i == 3 {
+                let e = r.as_ref().unwrap_err();
+                assert_eq!(e.index, 3);
+                assert_eq!(e.attempts, 3);
+                assert!(
+                    matches!(&e.failure, PointFailure::Panicked(m) if m.contains("exploded")),
+                    "{e}"
+                );
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i as u64 * 10);
+            }
+        }
+    }
+
+    #[test]
+    fn try_sweep_retries_transient_failures_with_attempt_reseeding() {
+        // Point 5 fails its first two attempts, then succeeds: retry
+        // with the attempt number must recover it with no hole.
+        let out = try_sweep(
+            2,
+            (0u64..8).collect(),
+            RetryPolicy::default(),
+            |i, x, attempt| {
+                if i == 5 && attempt < 2 {
+                    return Err(PitonError::transient("flaky point"));
+                }
+                Ok(x + u64::from(attempt))
+            },
+        );
+        let vals: Vec<u64> = out.into_iter().map(Result::unwrap).collect();
+        // Point 5 succeeded on attempt 2 and saw its reseeded attempt.
+        assert_eq!(vals, vec![0, 1, 2, 3, 4, 7, 6, 7]);
+    }
+
+    #[test]
+    fn try_sweep_fails_nontransient_errors_without_retry() {
+        let out = try_sweep(
+            1,
+            vec![0u64],
+            RetryPolicy { max_attempts: 5 },
+            |_, _, attempt| {
+                assert_eq!(attempt, 0, "deterministic failures must not retry");
+                Err::<u64, _>(PitonError::injected("dead point"))
+            },
+        );
+        let e = out[0].as_ref().unwrap_err();
+        assert_eq!(e.attempts, 1);
+        assert!(matches!(
+            &e.failure,
+            PointFailure::Failed(PitonError::Injected { .. })
+        ));
+    }
+
+    #[test]
+    fn try_sweep_is_deterministic_across_jobs_levels() {
+        let run = |jobs| {
+            try_sweep(
+                jobs,
+                (0u64..16).collect(),
+                RetryPolicy::default(),
+                |i, x, attempt| {
+                    if i == 2 && attempt == 0 {
+                        return Err(PitonError::transient("first attempt glitch"));
+                    }
+                    if i == 9 {
+                        panic!("point 9 always dies");
+                    }
+                    Ok(x.wrapping_mul(0x9E37_79B9) ^ u64::from(attempt))
+                },
+            )
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn point_errors_render_their_story() {
+        let e = PointError {
+            index: 7,
+            attempts: 3,
+            failure: PointFailure::Failed(PitonError::transient("injected flaky grid point")),
+        };
+        let s = e.to_string();
+        assert!(s.contains("point 7") && s.contains("3 attempt"), "{s}");
     }
 
     #[test]

@@ -195,6 +195,11 @@ pub struct Core {
     /// Drafting (§II) lets the next thread reuse the front-end work
     /// when it issues the same instruction from the same PC.
     last_issue: Option<(usize, usize, Opcode)>,
+    /// Whether the core is fused on. The paper ran chips with faulty
+    /// cores as 24-core parts: the core is disabled but its tile's
+    /// router keeps forwarding, which is exactly what a disabled `Core`
+    /// does (the NoC lives in the memory system, not here).
+    enabled: bool,
 }
 
 impl Core {
@@ -208,6 +213,7 @@ impl Core {
             store_buffer: StoreBuffer::new(sb_entries),
             next_thread: 0,
             last_issue: None,
+            enabled: true,
         }
     }
 
@@ -217,12 +223,39 @@ impl Core {
         self.tile
     }
 
+    /// Whether the core is fused on.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Fuses the core on or off. Disabling resets every thread to idle
+    /// and empties the store buffer — fused-off silicon holds no state —
+    /// so a disabled core contributes zero activity from this cycle on.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        if !enabled {
+            for t in &mut self.threads {
+                *t = Thread::new();
+            }
+            self.store_buffer = StoreBuffer::new(self.store_buffer.capacity);
+            self.next_thread = 0;
+            self.last_issue = None;
+        }
+        self.enabled = enabled;
+    }
+
     /// Loads a program onto a hardware thread and marks it runnable.
+    /// Silently ignored on a fused-off core, matching the real bench:
+    /// software simply cannot target a disabled core.
     ///
     /// # Panics
     ///
     /// Panics if `thread` is out of range.
     pub fn load_thread(&mut self, thread: usize, program: Arc<Program>) {
+        assert!(thread < self.threads.len(), "thread index out of range");
+        if !self.enabled {
+            return;
+        }
         let t = &mut self.threads[thread];
         *t = Thread::new();
         t.program = Some(program);
@@ -285,6 +318,25 @@ impl Core {
             .count() as u64
     }
 
+    /// Store-buffer entries still waiting to drain (hang diagnosis).
+    #[must_use]
+    pub fn pending_stores(&self) -> usize {
+        self.store_buffer.entries.len()
+    }
+
+    /// The running threads currently held by an occupancy, as
+    /// `(thread, wait kind, busy-until cycle)` — what a hang report
+    /// names when the machine stops retiring.
+    #[must_use]
+    pub fn waiting_threads(&self, now: u64) -> Vec<(usize, WaitKind, u64)> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.state == ThreadState::Running && t.busy_until > now)
+            .map(|(i, t)| (i, t.wait, t.busy_until))
+            .collect()
+    }
+
     /// Advances the core by one cycle: drain the store buffer, pick a
     /// ready thread round-robin, and issue its next instruction.
     ///
@@ -295,6 +347,9 @@ impl Core {
         memsys: &mut MemorySystem,
         act: &mut ActivityCounters,
     ) -> bool {
+        if !self.enabled {
+            return false;
+        }
         self.store_buffer.advance(self.tile, now, memsys, act);
 
         if !self.any_running() {

@@ -53,6 +53,7 @@ pub mod mitts;
 pub mod noc;
 pub mod program;
 
+pub use crate::core::WaitKind;
 pub use events::ActivityCounters;
-pub use machine::Machine;
+pub use machine::{HangKind, HangReport, Machine, StuckThread};
 pub use program::Program;

@@ -49,13 +49,95 @@ use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 use piton_arch::config::ChipConfig;
+use piton_arch::error::PitonError;
 use piton_arch::topology::TileId;
 
-use crate::core::Core;
+use crate::core::{Core, WaitKind};
 use crate::events::ActivityCounters;
 use crate::memsys::MemorySystem;
 use crate::noc::NocId;
 use crate::program::Program;
+
+/// How a watched run stopped making progress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HangKind {
+    /// No thread retired an instruction for a whole watchdog window
+    /// while threads were still running.
+    Stalled,
+    /// Threads were still running (and possibly retiring) when the
+    /// cycle budget ran out.
+    Timeout,
+}
+
+/// One running-but-held thread named by a [`HangReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StuckThread {
+    /// The tile whose core holds the thread.
+    pub tile: TileId,
+    /// Hardware thread index within the core.
+    pub thread: usize,
+    /// What the thread's occupancy is waiting on.
+    pub wait: WaitKind,
+    /// The cycle at which the occupancy releases.
+    pub ready_at: u64,
+}
+
+/// Structured diagnosis of a machine that stopped making progress —
+/// what [`Machine::run_until_halted_watched`] returns instead of a bare
+/// `false`: which cores are stuck, on what [`WaitKind`], and how loaded
+/// the store/memory path still is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HangReport {
+    /// How progress stopped.
+    pub kind: HangKind,
+    /// Cycle at which the watchdog fired.
+    pub at_cycle: u64,
+    /// The no-retirement window that triggered it (cycles).
+    pub window: u64,
+    /// Instructions retired chip-wide before the hang.
+    pub retired: u64,
+    /// Every running thread still held by an occupancy, in tile order.
+    pub stuck: Vec<StuckThread>,
+    /// Store-buffer entries still waiting to drain, chip-wide.
+    pub pending_stores: u64,
+    /// Fused-off cores (a degraded chip hangs differently).
+    pub disabled_cores: usize,
+}
+
+impl std::fmt::Display for HangReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match self.kind {
+            HangKind::Stalled => "no retirement",
+            HangKind::Timeout => "cycle budget exhausted",
+        };
+        write!(
+            f,
+            "{kind} at cycle {} ({} retired, window {}, {} store(s) pending, {} core(s) disabled)",
+            self.at_cycle, self.retired, self.window, self.pending_stores, self.disabled_cores
+        )?;
+        for s in &self.stuck {
+            let wait = match s.wait {
+                WaitKind::Execute => "execute",
+                WaitKind::Memory => "memory",
+                WaitKind::StoreDrain => "store-drain",
+            };
+            write!(
+                f,
+                "; {} thread {} waiting on {wait} until cycle {}",
+                s.tile, s.thread, s.ready_at
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl From<HangReport> for PitonError {
+    fn from(r: HangReport) -> Self {
+        PitonError::Hang {
+            detail: r.to_string(),
+        }
+    }
+}
 
 /// Cycles between valid-flit groups on the chip bridge (§IV-G: "for
 /// every 47 cycles there are seven valid NoC flits").
@@ -242,6 +324,27 @@ impl Machine {
         for i in 0..n {
             self.cores[i].load_thread(thread, Arc::clone(&shared));
         }
+    }
+
+    /// Fuses cores on or off from a mask (bit *i* = tile *i* disabled);
+    /// routers keep forwarding, matching how the paper ran chips with
+    /// faulty cores as 24-core parts. Bits outside the mask re-enable
+    /// their cores, so applying a mask is idempotent and reversible.
+    pub fn apply_core_mask(&mut self, mask: u32) {
+        for (i, core) in self.cores.iter_mut().enumerate() {
+            core.set_enabled(mask & (1 << i) == 0);
+        }
+    }
+
+    /// Fuses a single core on or off.
+    pub fn set_core_enabled(&mut self, tile: TileId, enabled: bool) {
+        self.cores[tile.index()].set_enabled(enabled);
+    }
+
+    /// Number of fused-off cores.
+    #[must_use]
+    pub fn disabled_cores(&self) -> usize {
+        self.cores.iter().filter(|c| !c.is_enabled()).count()
     }
 
     /// Whether any hardware thread is still running.
@@ -601,6 +704,77 @@ impl Machine {
         !self.any_running()
     }
 
+    /// [`Machine::run_until_halted`] with a progress watchdog: if no
+    /// instruction retires chip-wide for `window` consecutive cycles
+    /// while threads are still running, or the cycle budget runs out,
+    /// returns a structured [`HangReport`] naming the stuck threads
+    /// (tile, [`WaitKind`], release cycle) and the residual store-path
+    /// occupancy, instead of a bare `false`.
+    ///
+    /// Pick `window` above the longest legitimate wait of the workload
+    /// (a cold memory miss holds a thread ~424 cycles).
+    ///
+    /// # Errors
+    ///
+    /// [`HangReport`] when the watchdog fires or the budget is
+    /// exhausted with threads still running.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn run_until_halted_watched(
+        &mut self,
+        max_cycles: u64,
+        window: u64,
+    ) -> Result<(), HangReport> {
+        assert!(window > 0, "watchdog window must be non-zero");
+        let end = self.now + max_cycles;
+        let mut last_retired = self.retired();
+        let mut progress_at = self.now;
+        while self.any_running() && self.now < end {
+            let chunk = 1_000.min(window).min(end - self.now);
+            self.run(chunk);
+            let retired = self.retired();
+            if retired > last_retired {
+                last_retired = retired;
+                progress_at = self.now;
+            } else if self.now - progress_at >= window {
+                return Err(self.hang_report(HangKind::Stalled, window));
+            }
+        }
+        if self.any_running() {
+            return Err(self.hang_report(HangKind::Timeout, window));
+        }
+        Ok(())
+    }
+
+    /// Snapshots the stuck state for a [`HangReport`].
+    fn hang_report(&self, kind: HangKind, window: u64) -> HangReport {
+        let stuck = self
+            .cores
+            .iter()
+            .flat_map(|c| {
+                c.waiting_threads(self.now)
+                    .into_iter()
+                    .map(|(thread, wait, ready_at)| StuckThread {
+                        tile: c.tile(),
+                        thread,
+                        wait,
+                        ready_at,
+                    })
+            })
+            .collect();
+        HangReport {
+            kind,
+            at_cycle: self.now,
+            window,
+            retired: self.retired(),
+            stuck,
+            pending_stores: self.cores.iter().map(|c| c.pending_stores() as u64).sum(),
+            disabled_cores: self.disabled_cores(),
+        }
+    }
+
     /// Records I/O transactions (SD card, serial port) crossing the
     /// chip bridge — driven by workload models whose I/O the ISA-level
     /// simulator does not execute (e.g. the SPECint surrogates with
@@ -832,6 +1006,98 @@ mod tests {
     }
 
     #[test]
+    fn disabled_cores_stay_silent_but_routers_forward() {
+        let mut m = machine();
+        // Fuse off tiles 3 and 12.
+        m.apply_core_mask((1 << 3) | (1 << 12));
+        assert_eq!(m.disabled_cores(), 2);
+        let p = count_loop(50);
+        m.load_on_tiles(25, 0, &p);
+        assert!(m.run_until_halted(200_000), "degraded chip must still halt");
+        assert_eq!(m.core(TileId::new(3)).retired(), 0);
+        assert_eq!(m.core(TileId::new(12)).retired(), 0);
+        assert!(m.core(TileId::new(0)).retired() > 0);
+        assert!(m.core(TileId::new(24)).retired() > 0);
+        // Traffic still routes *through* the disabled tiles' routers:
+        // tile 3 sits on the tile0→tile4 X path.
+        let before = m.counters().noc_flit_hops;
+        m.run_invalidation_traffic(TileId::new(4), SwitchPattern::Fsw, 47 * 10);
+        assert!(m.counters().noc_flit_hops > before);
+    }
+
+    #[test]
+    fn disabling_reenabling_restores_a_loadable_core() {
+        let mut m = machine();
+        m.apply_core_mask(1 << 7);
+        m.load_thread(TileId::new(7), 0, count_loop(10));
+        assert!(
+            !m.core(TileId::new(7)).any_running(),
+            "load must be ignored"
+        );
+        m.apply_core_mask(0);
+        m.load_thread(TileId::new(7), 0, count_loop(10));
+        assert!(m.run_until_halted(50_000));
+        assert!(m.core(TileId::new(7)).retired() > 0);
+    }
+
+    #[test]
+    fn watchdog_reports_a_memory_stalled_thread() {
+        let mut m = machine();
+        // A cold miss holds the thread ~424 cycles; a 50-cycle watchdog
+        // window fires mid-wait and must name the memory wait.
+        m.load_thread(
+            TileId::new(5),
+            0,
+            Program::from_instructions(vec![
+                Instruction::movi(Reg::new(1), 0x9000),
+                Instruction::ldx(Reg::new(2), Reg::new(1), 0),
+                Instruction::halt(),
+            ]),
+        );
+        let report = m.run_until_halted_watched(5_000, 50).unwrap_err();
+        assert_eq!(report.kind, HangKind::Stalled);
+        assert_eq!(report.window, 50);
+        let stuck: Vec<_> = report.stuck.iter().map(|s| (s.tile, s.wait)).collect();
+        assert_eq!(stuck, vec![(TileId::new(5), crate::core::WaitKind::Memory)]);
+        assert!(report.stuck[0].ready_at > report.at_cycle);
+        let rendered = report.to_string();
+        assert!(rendered.contains("no retirement"), "{rendered}");
+        assert!(rendered.contains("waiting on memory"), "{rendered}");
+        // And it converts into the workspace error currency.
+        let err: PitonError = report.into();
+        assert!(err.is_transient());
+    }
+
+    #[test]
+    fn watchdog_timeout_reports_running_threads() {
+        let mut m = machine();
+        // An infinite loop keeps retiring: only the budget stops it.
+        m.load_thread(
+            TileId::new(0),
+            0,
+            Program::from_instructions(vec![
+                Instruction::nop(),
+                Instruction::branch(Opcode::Beq, Reg::G0, Reg::G0, 0),
+            ]),
+        );
+        let report = m.run_until_halted_watched(2_000, 500).unwrap_err();
+        assert_eq!(report.kind, HangKind::Timeout);
+        assert!(report.retired > 0);
+    }
+
+    #[test]
+    fn watchdog_passes_a_completing_workload_unchanged() {
+        let mut watched = machine();
+        let mut plain = machine();
+        watched.load_thread(TileId::new(0), 0, count_loop(100));
+        plain.load_thread(TileId::new(0), 0, count_loop(100));
+        assert!(watched.run_until_halted_watched(100_000, 1_000).is_ok());
+        assert!(plain.run_until_halted(100_000));
+        assert_eq!(watched.retired(), plain.retired());
+        assert_eq!(watched.counters(), plain.counters());
+    }
+
+    #[test]
     fn fswa_has_coupling_fsw_does_not() {
         let mut fswa = machine();
         fswa.run_invalidation_traffic(TileId::new(2), SwitchPattern::Fswa, 47 * 50);
@@ -932,6 +1198,45 @@ mod tests {
                 prop_assert!(event.engine_steps() <= naive.engine_steps());
                 // Full counter equality, f64 fields bitwise included.
                 prop_assert_eq!(event.counters(), naive.counters());
+            }
+
+            /// Table IV degraded parts: under ANY faulty-core mask the
+            /// two engines still agree exactly, and disabled tiles
+            /// retire nothing while their routers keep forwarding.
+            #[test]
+            fn engines_agree_under_any_faulty_core_mask(
+                seeds in proptest::collection::vec(proptest::strategy::any::<u64>(), 2..6),
+                placement in proptest::collection::vec((0usize..25, 0usize..2), 1..8),
+                mask in 0u32..(1 << 25),
+                chunks in proptest::collection::vec(50u64..2_000, 1..4),
+            ) {
+                let build = || {
+                    let mut m = machine();
+                    m.apply_core_mask(mask);
+                    for (slot, &(tile, thread)) in placement.iter().enumerate() {
+                        m.load_thread(
+                            TileId::new(tile),
+                            thread,
+                            decode_program(&seeds, slot),
+                        );
+                    }
+                    m
+                };
+                let mut event = build();
+                let mut naive = build();
+                for &chunk in &chunks {
+                    event.run(chunk);
+                    naive.run_naive(chunk);
+                }
+                prop_assert_eq!(event.now(), naive.now());
+                prop_assert_eq!(event.retired(), naive.retired());
+                prop_assert_eq!(event.counters(), naive.counters());
+                prop_assert_eq!(event.disabled_cores(), mask.count_ones() as usize);
+                for t in 0..25 {
+                    if mask & (1 << t) != 0 {
+                        prop_assert_eq!(event.core(TileId::new(t)).retired(), 0);
+                    }
+                }
             }
         }
     }

@@ -66,6 +66,7 @@ fn csv_and_render_agree_on_row_counts() {
         chunk_cycles: 1_000,
         warmup_cycles: 4_000,
         jobs: 2,
+        fault: None,
     });
     let csv = r.to_csv();
     // header + 4 patterns x 9 hop points

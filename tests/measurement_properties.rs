@@ -37,7 +37,7 @@ proptest! {
     #[test]
     fn linear_fit_is_exact_on_lines(a in -100.0f64..100.0, b in -50.0f64..50.0) {
         let pts: Vec<(f64, f64)> = (0..10).map(|x| (f64::from(x), a + b * f64::from(x))).collect();
-        let (fa, fb) = linear_fit(&pts);
+        let (fa, fb) = linear_fit(&pts).unwrap();
         prop_assert!((fa - a).abs() < 1e-6);
         prop_assert!((fb - b).abs() < 1e-6);
     }

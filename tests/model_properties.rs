@@ -69,11 +69,11 @@ proptest! {
         let truth = Watts(power_mw / 1e3);
         let mut chan = MonitorChannel::piton_board(seed);
         let w: MeasurementWindow = (0..512).map(|_| chan.sample(truth)).collect();
-        let bias = (w.mean().0 - truth.0).abs();
+        let bias = (w.mean().unwrap().0 - truth.0).abs();
         // 512 samples: standard error ≈ σ/√512; allow 6 standard errors.
         let sigma = 1.5e-3 + 5.0e-4 * truth.0 + 0.5e-3; // + LSB slack
         prop_assert!(bias < 6.0 * sigma / (512f64).sqrt() + 0.3e-3, "bias {bias}");
-        prop_assert!(w.stddev().0 > 0.0);
+        prop_assert!(w.stddev().unwrap().0 > 0.0);
     }
 
     /// Measurement windows aggregate linearly: splitting the samples
@@ -86,7 +86,7 @@ proptest! {
         let half = samples.len() / 2;
         let a: MeasurementWindow = samples[..half].iter().map(|&w| Watts(w)).collect();
         let b: MeasurementWindow = samples[half..].iter().map(|&w| Watts(w)).collect();
-        let pooled = (a.mean().0 + b.mean().0) / 2.0;
-        prop_assert!((pooled - all.mean().0).abs() < 1e-12);
+        let pooled = (a.mean().unwrap().0 + b.mean().unwrap().0) / 2.0;
+        prop_assert!((pooled - all.mean().unwrap().0).abs() < 1e-12);
     }
 }

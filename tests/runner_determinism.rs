@@ -4,6 +4,7 @@
 //! that guarantee — any accidental order- or thread-dependence in an
 //! experiment shows up as a byte diff here.
 
+use piton::board::fault::{self, FaultPlan};
 use piton::characterization::experiments::{core_scaling, epi, noc_energy, Fidelity};
 
 /// A deliberately tiny fidelity: determinism does not depend on sample
@@ -14,6 +15,7 @@ fn tiny(jobs: usize) -> Fidelity {
         chunk_cycles: 1_000,
         warmup_cycles: 4_000,
         jobs,
+        fault: None,
     }
 }
 
@@ -39,4 +41,30 @@ fn core_scaling_is_byte_identical_across_jobs_levels() {
     let serial = core_scaling::run_with_cores(&cores, tiny(1));
     let parallel = core_scaling::run_with_cores(&cores, tiny(3));
     assert_eq!(serial.render(), parallel.render());
+}
+
+/// A killed grid point must neither abort the sweep nor perturb any
+/// other point: the holed table is byte-identical at every jobs level,
+/// and every line that is not part of the hole matches the fault-free
+/// run exactly.
+#[test]
+fn injected_kill_holes_identically_at_every_jobs_level() {
+    let token = fault::register(FaultPlan::parse("seed=7,kill=epi:3").unwrap());
+    let serial = epi::run(tiny(1).with_fault(token));
+    let parallel = epi::run(tiny(8).with_fault(token));
+    assert_eq!(serial.render(), parallel.render());
+    assert_eq!(serial.holes.len(), 1);
+    assert_eq!(serial.holes[0].attempts, 3);
+    assert!(serial.render().contains('✗'), "hole must be marked");
+
+    // The kill plan injects no monitor faults, so all surviving lines
+    // must match the fault-free output byte for byte.
+    let clean = epi::run(tiny(1)).render();
+    let clean_lines: std::collections::HashSet<&str> = clean.lines().collect();
+    for line in serial.render().lines() {
+        assert!(
+            line.is_empty() || line.contains('✗') || clean_lines.contains(line),
+            "unexpected divergence on non-holed line: {line:?}"
+        );
+    }
 }
