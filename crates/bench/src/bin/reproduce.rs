@@ -21,6 +21,15 @@
 //! default monitor-fault rates). Grid points that fail permanently are
 //! rendered as explicitly-marked holes and the process exits nonzero so
 //! a partially-failed reproduction cannot pass silently.
+//!
+//! Observability (see `piton_obs`): `--trace SPEC` (or `PITON_TRACE`)
+//! streams structured simulator events to a JSONL file — spec grammar
+//! in `piton_obs::trace::TraceSpec` — and every invocation writes a
+//! `piton-run-manifest/v1` run manifest (section timings, sweep
+//! holes, and the full metrics-registry snapshot) to
+//! `piton-run-manifest.json`, overridable with `--metrics PATH` or
+//! `PITON_METRICS`. Neither touches stdout: the rendered tables stay
+//! byte-identical with and without them.
 
 use std::time::{Duration, Instant};
 
@@ -29,7 +38,11 @@ use piton_core::experiments::{
     ablations, area, core_scaling, epi, mem_latency, memory_energy, mt_vs_mc, noc_energy, specint,
     static_idle, thermal, vf_sweep, yield_stats, Fidelity,
 };
+use piton_core::report::Hole;
 use piton_core::runner;
+use piton_obs::manifest::{HoleRecord, RunManifest, SectionRecord};
+use piton_obs::metrics;
+use piton_obs::trace::{self, TraceSpec};
 
 /// Wall/busy timing of one reproduced section.
 struct SectionTiming {
@@ -97,10 +110,60 @@ fn parse_fault_plan() -> Option<FaultPlan> {
     }
 }
 
+/// Resolves the trace spec from `--trace=SPEC` / `--trace SPEC` or
+/// `PITON_TRACE`. Exits with status 2 on a malformed spec.
+fn parse_trace_spec() -> Option<TraceSpec> {
+    let args: Vec<String> = std::env::args().collect();
+    let spec = args
+        .iter()
+        .enumerate()
+        .find_map(|(i, a)| {
+            a.strip_prefix("--trace=")
+                .map(str::to_owned)
+                .or_else(|| (a == "--trace").then(|| args.get(i + 1).cloned()).flatten())
+        })
+        .or_else(|| std::env::var("PITON_TRACE").ok())?;
+    match TraceSpec::parse(&spec) {
+        Ok(spec) => Some(spec),
+        Err(e) => {
+            eprintln!("reproduce: bad --trace spec: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Resolves the run-manifest output path from `--metrics=PATH` /
+/// `--metrics PATH` or `PITON_METRICS` (default
+/// `piton-run-manifest.json`).
+fn parse_manifest_path() -> String {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .enumerate()
+        .find_map(|(i, a)| {
+            a.strip_prefix("--metrics=").map(str::to_owned).or_else(|| {
+                (a == "--metrics")
+                    .then(|| args.get(i + 1).cloned())
+                    .flatten()
+            })
+        })
+        .or_else(|| std::env::var("PITON_METRICS").ok())
+        .unwrap_or_else(|| "piton-run-manifest.json".to_owned())
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "quick");
     let jobs = parse_jobs();
     let fault_plan = parse_fault_plan();
+    let trace_spec = parse_trace_spec();
+    let manifest_path = parse_manifest_path();
+    // The registry only accumulates (and is drained into the run
+    // manifest); nothing printed to stdout depends on it.
+    metrics::enable();
+    if let Some(spec) = &trace_spec {
+        trace::install_sink(&spec.out);
+        trace::set_worker_spec(Some(spec.clone()));
+        trace::install(spec, true);
+    }
     let csv_dir: Option<std::path::PathBuf> =
         std::env::args().find_map(|a| a.strip_prefix("csv=").map(std::path::PathBuf::from));
     if let Some(dir) = &csv_dir {
@@ -162,8 +225,19 @@ fn main() {
         static_idle::run(fidelity).render(),
     );
     let mut holes = 0usize;
+    let mut hole_records: Vec<HoleRecord> = Vec::new();
+    let record_holes = |records: &mut Vec<HoleRecord>, hs: &[Hole]| {
+        records.extend(hs.iter().map(|h| HoleRecord {
+            section: h.section.clone(),
+            index: h.index,
+            point: h.point.clone(),
+            attempts: h.attempts,
+            error: h.error.clone(),
+        }));
+    };
     let epi_result = epi::run(fidelity);
     holes += epi_result.holes.len();
+    record_holes(&mut hole_records, &epi_result.holes);
     write_csv("figure11_epi.csv", epi_result.to_csv());
     section(
         "Figure 11 + Table VI — energy per instruction",
@@ -174,6 +248,7 @@ fn main() {
     section("Table VII — memory system energy", mem_result.render());
     let noc_result = noc_energy::run(fidelity);
     holes += noc_result.holes.len();
+    record_holes(&mut hole_records, &noc_result.holes);
     write_csv("figure12_noc_epf.csv", noc_result.to_csv());
     section("Figure 12 — NoC energy per flit", noc_result.render());
     let cores: Vec<usize> = if quick {
@@ -183,6 +258,7 @@ fn main() {
     };
     let scaling_result = core_scaling::run_with_cores(&cores, fidelity);
     holes += scaling_result.holes.len();
+    record_holes(&mut hole_records, &scaling_result.holes);
     section(
         "Figure 13 — power scaling with core count",
         scaling_result.render(),
@@ -260,6 +336,47 @@ fn main() {
         "total: {total:?} (sweep work {total_busy:.1?}, overall speedup {:.2}x)",
         total_busy.as_secs_f64() / total.as_secs_f64()
     );
+
+    // Flush the trace sink (worker collectors flushed as their threads
+    // finished; the main thread's collector flushes here).
+    if trace_spec.is_some() {
+        trace::set_worker_spec(None);
+        let _ = trace::uninstall();
+        match trace::flush_sink_to_file() {
+            Ok(Some((path, lines, dropped))) => {
+                eprintln!("reproduce: trace: {lines} event(s) -> {path} ({dropped} ring-dropped)");
+            }
+            Ok(None) => {}
+            Err(e) => eprintln!("reproduce: trace: {e}"),
+        }
+    }
+
+    // Emit the run manifest: section timings, sweep holes and the full
+    // metrics-registry snapshot.
+    let manifest = RunManifest {
+        fidelity: if quick { "quick" } else { "full" }.to_owned(),
+        jobs,
+        fault_plan: fault_plan.as_ref().map(FaultPlan::render),
+        total_wall_s: total.as_secs_f64(),
+        sections: timings
+            .iter()
+            .map(|t| SectionRecord {
+                title: t.title.to_owned(),
+                wall_s: t.wall.as_secs_f64(),
+                busy_s: t.stats.busy.as_secs_f64(),
+                sweeps: t.stats.sweeps as u64,
+                points: t.stats.points as u64,
+            })
+            .collect(),
+        holes: hole_records,
+        metrics: metrics::snapshot(),
+    };
+    if let Err(e) = std::fs::write(&manifest_path, manifest.to_json()) {
+        eprintln!("reproduce: writing run manifest {manifest_path}: {e}");
+        std::process::exit(2);
+    }
+    eprintln!("reproduce: run manifest -> {manifest_path}");
+
     if holes > 0 {
         eprintln!("reproduce: {holes} grid point(s) lost to faults — tables contain marked holes");
         std::process::exit(1);

@@ -231,6 +231,38 @@ impl FaultPlan {
         }
         Ok(plan)
     }
+
+    /// Renders the plan back into a canonical [`FaultPlan::parse`] spec
+    /// string: `FaultPlan::parse(&plan.render())` reconstructs an equal
+    /// plan (rates rely on `f64`'s shortest-round-trip `Display`).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut parts = vec![format!("seed={}", self.seed)];
+        if self.drop_rate > 0.0 {
+            parts.push(format!("drop={}", self.drop_rate));
+        }
+        if self.stuck_rate > 0.0 {
+            parts.push(format!("stuck={}", self.stuck_rate));
+        }
+        if self.glitch_rate > 0.0 {
+            parts.push(format!("glitch={}", self.glitch_rate));
+        }
+        if let Some(b) = &self.brownout {
+            parts.push(format!(
+                "brownout={}+{}@{}",
+                b.start_sample, b.samples, b.factor
+            ));
+        }
+        for s in &self.sabotage {
+            parts.push(match s.kind {
+                SabotageKind::Kill => format!("kill={}:{}", s.section, s.index),
+                SabotageKind::Flaky { failing_attempts } => {
+                    format!("flaky={}:{}@{failing_attempts}", s.section, s.index)
+                }
+            });
+        }
+        parts.join(",")
+    }
 }
 
 /// Gate called by sweep closures on sabotaged sections: panics for

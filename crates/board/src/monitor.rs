@@ -25,6 +25,8 @@
 use crate::fault::{FaultPlan, FaultState, SampleFault, MAX_SAMPLE_RETRIES};
 use piton_arch::error::PitonError;
 use piton_arch::units::{Ohms, Seconds, Watts};
+use piton_obs::metrics;
+use piton_obs::trace::{self, TraceEvent};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -60,6 +62,9 @@ pub struct MonitorChannel {
     fault: Option<FaultState>,
     /// Previous conversion — what a stuck ADC re-reports.
     last: Option<Watts>,
+    /// Conversions taken so far — the sample index stamped on ADC
+    /// trace events.
+    samples: u64,
 }
 
 impl MonitorChannel {
@@ -76,6 +81,7 @@ impl MonitorChannel {
             seed,
             fault: None,
             last: None,
+            samples: 0,
         }
     }
 
@@ -108,7 +114,22 @@ impl MonitorChannel {
         // ADC quantization.
         let w = Watts((noisy / self.lsb_w).round() * self.lsb_w);
         self.last = Some(w);
+        if trace::active() {
+            self.trace_conversion(w);
+        }
+        self.samples += 1;
         w
+    }
+
+    /// Outlined ADC trace emission; power is stamped in integer
+    /// microwatts so the event round-trips exactly through JSONL.
+    #[cold]
+    fn trace_conversion(&self, w: Watts) {
+        trace::emit(TraceEvent::Adc {
+            channel: self.seed,
+            sample: self.samples,
+            microwatts: (w.0 * 1e6).round() as i64,
+        });
     }
 
     /// Takes one sample under the attached fault plan, retrying dropped
@@ -120,6 +141,19 @@ impl MonitorChannel {
     ///
     /// Without an attached plan this is byte-identical to [`Self::sample`].
     pub fn sample_with_retry(&mut self, true_power: Watts, quality: &mut Quality) -> Option<Watts> {
+        let before = *quality;
+        let out = self.sample_with_retry_inner(true_power, quality);
+        if metrics::enabled() {
+            publish_quality_delta(&before, quality);
+        }
+        out
+    }
+
+    fn sample_with_retry_inner(
+        &mut self,
+        true_power: Watts,
+        quality: &mut Quality,
+    ) -> Option<Watts> {
         let Some(mut fault) = self.fault.take() else {
             quality.kept += 1;
             return Some(self.sample(true_power));
@@ -165,6 +199,23 @@ impl MonitorChannel {
         self.fault = Some(fault);
         outcome
     }
+}
+
+/// Outlined metrics publication of one retry-loop outcome — the delta
+/// between the caller's [`Quality`] before and after a sample. Callers
+/// gate on [`metrics::enabled`].
+#[cold]
+fn publish_quality_delta(before: &Quality, after: &Quality) {
+    let d = |name: &str, b: u32, a: u32| {
+        if a > b {
+            metrics::counter_add(name, u64::from(a - b));
+        }
+    };
+    d("monitor.kept", before.kept, after.kept);
+    d("monitor.dropped", before.dropped, after.dropped);
+    d("monitor.retried", before.retried, after.retried);
+    d("monitor.stuck", before.stuck, after.stuck);
+    d("monitor.glitched", before.glitched, after.glitched);
 }
 
 /// Bench-side health report of one measurement window: how many samples

@@ -28,6 +28,7 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use piton_arch::error::PitonError;
+use piton_obs::{metrics, trace};
 
 /// Accumulated sweep timing: how much point work ran (`busy`) versus
 /// how long the sweeps took end to end (`wall`).
@@ -128,21 +129,26 @@ where
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
-                scope.spawn(|| loop {
-                    let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                    if idx >= n {
-                        break;
-                    }
-                    let item = slots[idx]
-                        .lock()
-                        .expect("item slot lock")
-                        .take()
-                        .expect("each grid point is claimed once");
-                    let t0 = Instant::now();
-                    let out = f(idx, item);
-                    let spent = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
-                    busy_ns.fetch_add(spent, Ordering::Relaxed);
-                    *results[idx].lock().expect("result slot lock") = Some(out);
+                // `worker_scope` gives each worker its own trace
+                // collector when file-backed tracing is live, so events
+                // emitted off the main thread still reach the sink.
+                scope.spawn(|| {
+                    trace::worker_scope(|| loop {
+                        let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                        if idx >= n {
+                            break;
+                        }
+                        let item = slots[idx]
+                            .lock()
+                            .expect("item slot lock")
+                            .take()
+                            .expect("each grid point is claimed once");
+                        let t0 = Instant::now();
+                        let out = f(idx, item);
+                        let spent = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                        busy_ns.fetch_add(spent, Ordering::Relaxed);
+                        *results[idx].lock().expect("result slot lock") = Some(out);
+                    });
                 })
             })
             .collect();
@@ -263,16 +269,16 @@ where
     let max_attempts = policy.max_attempts.max(1);
     sweep(jobs, items, |idx, item| {
         let mut attempt = 0;
-        loop {
+        let out = loop {
             match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(idx, &item, attempt)))
             {
-                Ok(Ok(v)) => return Ok(v),
+                Ok(Ok(v)) => break Ok(v),
                 Ok(Err(e)) => {
                     if e.is_transient() && attempt + 1 < max_attempts {
                         attempt += 1;
                         continue;
                     }
-                    return Err(PointError {
+                    break Err(PointError {
                         index: idx,
                         attempts: attempt + 1,
                         failure: PointFailure::Failed(e),
@@ -283,14 +289,23 @@ where
                         attempt += 1;
                         continue;
                     }
-                    return Err(PointError {
+                    break Err(PointError {
                         index: idx,
                         attempts: attempt + 1,
                         failure: PointFailure::Panicked(payload_text(payload.as_ref())),
                     });
                 }
             }
+        };
+        if metrics::enabled() {
+            if attempt > 0 {
+                metrics::counter_add("sweep.retries", u64::from(attempt));
+            }
+            if out.is_err() {
+                metrics::counter_add("sweep.holes", 1);
+            }
         }
+        out
     })
 }
 

@@ -1,0 +1,38 @@
+//! Observability layer for the Piton power-characterization stack.
+//!
+//! The source paper is a measurement study: every published figure rests
+//! on trusting intermediate observations (per-rail sample windows, ADC
+//! conversions, activity counters), not just final Joules. This crate
+//! gives the simulator the same property. It provides:
+//!
+//! * [`trace`] — a structured, ring-buffered event trace (instruction
+//!   retirement, cache/directory transitions, NoC flit hops, ADC
+//!   samples, engine-mode switches), zero-cost when disabled: every
+//!   emit site is gated on one relaxed atomic load. Events serialize to
+//!   compact JSONL and parse back losslessly.
+//! * [`metrics`] — a process-wide registry of counters, gauges and
+//!   histograms, snapshotted into machine-readable run manifests.
+//! * [`manifest`] — the `piton-run-manifest/v1` document `reproduce`
+//!   emits alongside its tables: per-section wall/busy time, sweep and
+//!   retry tallies, holes, and a metrics snapshot.
+//! * [`diff`] — first-divergence alignment of two event streams, the
+//!   core of the golden-trace differential harness (`trace_diff`).
+//! * [`json`] — the minimal JSON reader/writer everything above shares
+//!   (the vendored `serde` is an offline API stand-in and performs no
+//!   serialization; see `vendor/serde/src/lib.rs`).
+//!
+//! The trace hot-path contract: when no collector is installed,
+//! [`trace::active`] is a single `Relaxed` atomic load returning
+//! `false`, and every instrumentation site in `piton-sim`/`piton-board`
+//! branches over it before constructing an event.
+
+pub mod diff;
+pub mod json;
+pub mod manifest;
+pub mod metrics;
+pub mod trace;
+
+pub use diff::{first_divergence, Divergence};
+pub use manifest::{HoleRecord, RunManifest, SectionRecord, MANIFEST_SCHEMA};
+pub use metrics::{snapshot, MetricsSnapshot};
+pub use trace::{TraceEvent, TraceSpec};

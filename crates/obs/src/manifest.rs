@@ -1,0 +1,271 @@
+//! The `piton-run-manifest/v1` document: a machine-readable record of
+//! one `reproduce` invocation, emitted alongside the human tables.
+//!
+//! Schema (all times in seconds as JSON floats, counts as integers):
+//!
+//! ```text
+//! {
+//!   "schema": "piton-run-manifest/v1",
+//!   "fidelity": "quick" | "full",
+//!   "jobs": <usize>,
+//!   "fault_plan": null | "<spec string>",
+//!   "total_wall_s": <f64>,
+//!   "sections": [
+//!     { "title": "...", "wall_s": f, "busy_s": f, "sweeps": n, "points": n }
+//!   ],
+//!   "holes": [
+//!     { "section": "...", "index": n, "point": "...", "attempts": n, "error": "..." }
+//!   ],
+//!   "metrics": { "counters": {..}, "gauges": {..}, "histograms": {..} }
+//! }
+//! ```
+
+use crate::json::{self, ObjectBuilder, Value};
+use crate::metrics::MetricsSnapshot;
+
+/// The schema identifier every valid manifest must carry.
+pub const MANIFEST_SCHEMA: &str = "piton-run-manifest/v1";
+
+/// Per-section sweep accounting (from the runner's `SweepStats`).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SectionRecord {
+    pub title: String,
+    pub wall_s: f64,
+    pub busy_s: f64,
+    pub sweeps: u64,
+    pub points: u64,
+}
+
+/// One permanently-failed sweep point (mirrors `report::Hole`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HoleRecord {
+    pub section: String,
+    pub index: usize,
+    pub point: String,
+    pub attempts: u32,
+    pub error: String,
+}
+
+/// A complete run manifest.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunManifest {
+    pub fidelity: String,
+    pub jobs: usize,
+    pub fault_plan: Option<String>,
+    pub total_wall_s: f64,
+    pub sections: Vec<SectionRecord>,
+    pub holes: Vec<HoleRecord>,
+    pub metrics: MetricsSnapshot,
+}
+
+impl RunManifest {
+    /// Renders the manifest as a JSON document (with trailing newline).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let sections = Value::Array(
+            self.sections
+                .iter()
+                .map(|s| {
+                    ObjectBuilder::new()
+                        .field("title", Value::Str(s.title.clone()))
+                        .field("wall_s", Value::Float(s.wall_s))
+                        .field("busy_s", Value::Float(s.busy_s))
+                        .field("sweeps", Value::Int(i128::from(s.sweeps)))
+                        .field("points", Value::Int(i128::from(s.points)))
+                        .build()
+                })
+                .collect(),
+        );
+        let holes = Value::Array(
+            self.holes
+                .iter()
+                .map(|h| {
+                    ObjectBuilder::new()
+                        .field("section", Value::Str(h.section.clone()))
+                        .field("index", Value::Int(h.index as i128))
+                        .field("point", Value::Str(h.point.clone()))
+                        .field("attempts", Value::Int(i128::from(h.attempts)))
+                        .field("error", Value::Str(h.error.clone()))
+                        .build()
+                })
+                .collect(),
+        );
+        let doc = ObjectBuilder::new()
+            .field("schema", Value::Str(MANIFEST_SCHEMA.to_owned()))
+            .field("fidelity", Value::Str(self.fidelity.clone()))
+            .field("jobs", Value::Int(self.jobs as i128))
+            .field(
+                "fault_plan",
+                self.fault_plan
+                    .as_ref()
+                    .map_or(Value::Null, |p| Value::Str(p.clone())),
+            )
+            .field("total_wall_s", Value::Float(self.total_wall_s))
+            .field("sections", sections)
+            .field("holes", holes)
+            .field("metrics", self.metrics.to_json())
+            .build();
+        let mut out = doc.render();
+        out.push('\n');
+        out
+    }
+
+    /// Parses and validates a manifest document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for malformed JSON, a wrong/missing schema
+    /// identifier, or ill-typed fields.
+    pub fn from_json(doc: &str) -> Result<Self, String> {
+        let v = json::parse(doc)?;
+        let schema = v
+            .get("schema")
+            .and_then(Value::as_str)
+            .ok_or("manifest missing 'schema'")?;
+        if schema != MANIFEST_SCHEMA {
+            return Err(format!(
+                "schema mismatch: got '{schema}', expected '{MANIFEST_SCHEMA}'"
+            ));
+        }
+        let text = |key: &str| -> Result<String, String> {
+            v.get(key)
+                .and_then(Value::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("manifest missing string '{key}'"))
+        };
+        let float = |val: &Value, key: &str| -> Result<f64, String> {
+            val.get(key)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("missing number '{key}'"))
+        };
+        let mut out = RunManifest {
+            fidelity: text("fidelity")?,
+            jobs: v
+                .get("jobs")
+                .and_then(Value::as_u64)
+                .ok_or("manifest missing 'jobs'")? as usize,
+            fault_plan: match v.get("fault_plan") {
+                None | Some(Value::Null) => None,
+                Some(Value::Str(s)) => Some(s.clone()),
+                Some(_) => return Err("'fault_plan' must be null or a string".to_owned()),
+            },
+            total_wall_s: float(&v, "total_wall_s")?,
+            ..RunManifest::default()
+        };
+        for s in v
+            .get("sections")
+            .and_then(Value::as_array)
+            .ok_or("manifest missing 'sections'")?
+        {
+            out.sections.push(SectionRecord {
+                title: s
+                    .get("title")
+                    .and_then(Value::as_str)
+                    .ok_or("section missing 'title'")?
+                    .to_owned(),
+                wall_s: float(s, "wall_s")?,
+                busy_s: float(s, "busy_s")?,
+                sweeps: s
+                    .get("sweeps")
+                    .and_then(Value::as_u64)
+                    .ok_or("section missing 'sweeps'")?,
+                points: s
+                    .get("points")
+                    .and_then(Value::as_u64)
+                    .ok_or("section missing 'points'")?,
+            });
+        }
+        for h in v
+            .get("holes")
+            .and_then(Value::as_array)
+            .ok_or("manifest missing 'holes'")?
+        {
+            let txt = |key: &str| -> Result<String, String> {
+                h.get(key)
+                    .and_then(Value::as_str)
+                    .map(str::to_owned)
+                    .ok_or_else(|| format!("hole missing '{key}'"))
+            };
+            out.holes.push(HoleRecord {
+                section: txt("section")?,
+                index: h
+                    .get("index")
+                    .and_then(Value::as_u64)
+                    .ok_or("hole missing 'index'")? as usize,
+                point: txt("point")?,
+                attempts: h
+                    .get("attempts")
+                    .and_then(Value::as_u64)
+                    .and_then(|x| u32::try_from(x).ok())
+                    .ok_or("hole missing 'attempts'")?,
+                error: txt("error")?,
+            });
+        }
+        out.metrics =
+            MetricsSnapshot::from_json(v.get("metrics").ok_or("manifest missing 'metrics'")?)?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Histogram;
+
+    fn sample() -> RunManifest {
+        let mut metrics = MetricsSnapshot::default();
+        metrics.counters.insert("engine.steps".to_owned(), 12_345);
+        metrics.gauges.insert("sweep.speedup".to_owned(), 3.75);
+        let mut h = Histogram::default();
+        h.observe(4);
+        h.observe(900);
+        metrics.histograms.insert("engine.duty".to_owned(), h);
+        RunManifest {
+            fidelity: "quick".to_owned(),
+            jobs: 4,
+            fault_plan: Some("seed=7,drop=0.25,kill=epi:3".to_owned()),
+            total_wall_s: 12.25,
+            sections: vec![SectionRecord {
+                title: "Figure 11: EPI".to_owned(),
+                wall_s: 1.5,
+                busy_s: 5.25,
+                sweeps: 2,
+                points: 40,
+            }],
+            holes: vec![HoleRecord {
+                section: "epi".to_owned(),
+                index: 3,
+                point: "Add/Random".to_owned(),
+                attempts: 3,
+                error: "monitor dropped sample".to_owned(),
+            }],
+            metrics,
+        }
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let m = sample();
+        let doc = m.to_json();
+        assert_eq!(RunManifest::from_json(&doc).unwrap(), m);
+    }
+
+    #[test]
+    fn rejects_wrong_schema() {
+        let doc = sample().to_json().replace("piton-run-manifest/v1", "v0");
+        let err = RunManifest::from_json(&doc).unwrap_err();
+        assert!(err.contains("schema mismatch"), "{err}");
+    }
+
+    #[test]
+    fn no_fault_plan_is_null() {
+        let m = RunManifest {
+            fault_plan: None,
+            fidelity: "full".to_owned(),
+            ..sample()
+        };
+        let doc = m.to_json();
+        assert!(doc.contains("\"fault_plan\":null"), "{doc}");
+        assert_eq!(RunManifest::from_json(&doc).unwrap().fault_plan, None);
+    }
+}

@@ -23,6 +23,7 @@ use std::sync::Arc;
 
 use piton_arch::isa::{Opcode, Reg};
 use piton_arch::topology::TileId;
+use piton_obs::trace::{self, TraceEvent};
 
 use crate::events::{datapath_activity, value_activity, ActivityCounters};
 use crate::memsys::MemorySystem;
@@ -597,9 +598,19 @@ impl Core {
             }
             Opcode::Halt => {
                 let t = &mut self.threads[idx];
+                let pc = t.pc as u64;
                 t.retired += 1;
                 t.state = ThreadState::Halted;
                 act.record_issue(op, 1, 0.0);
+                if trace::active() {
+                    trace::emit(TraceEvent::Retire {
+                        cycle: now,
+                        tile: self.tile.index() as u32,
+                        thread: idx as u32,
+                        op: format!("{op:?}"),
+                        pc,
+                    });
+                }
             }
         }
     }
@@ -627,8 +638,18 @@ impl Core {
             Opcode::Membar => WaitKind::StoreDrain,
             _ => WaitKind::Execute,
         };
+        let pc = t.pc as u64;
         t.pc = branch_target.unwrap_or(t.pc + 1);
         t.retired += 1;
+        if trace::active() {
+            trace::emit(TraceEvent::Retire {
+                cycle: now,
+                tile: self.tile.index() as u32,
+                thread: idx as u32,
+                op: format!("{op:?}"),
+                pc,
+            });
+        }
     }
 }
 

@@ -52,6 +52,7 @@ pub mod memsys;
 pub mod mitts;
 pub mod noc;
 pub mod program;
+pub mod testprog;
 
 pub use crate::core::WaitKind;
 pub use events::ActivityCounters;

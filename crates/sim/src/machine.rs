@@ -51,6 +51,8 @@ use std::sync::Arc;
 use piton_arch::config::ChipConfig;
 use piton_arch::error::PitonError;
 use piton_arch::topology::TileId;
+use piton_obs::metrics::{self, Histogram};
+use piton_obs::trace::{self, EngineMode, TraceEvent};
 
 use crate::core::{Core, WaitKind};
 use crate::events::ActivityCounters;
@@ -213,14 +215,58 @@ struct CoreSched {
 
 impl CoreSched {
     /// Snapshots a core's charge profile just after it was stepped at
-    /// `now` (or at engine start).
-    fn of(core: &Core, now: u64) -> Self {
+    /// `now` (or at engine start). `skew` delays the cached wakeup time
+    /// — zero in production; the test-only desync knob
+    /// ([`Machine::set_calendar_skew`]) uses it to fault-inject the
+    /// scheduler for the trace differential harness.
+    fn of(core: &Core, now: u64, skew: u64) -> Self {
         Self {
-            ready_at: core.next_ready_at(),
+            ready_at: core.next_ready_at().map(|t| t.saturating_add(skew)),
             active: u64::from(core.any_running()),
             mem_wait: core.memory_waiting_threads(now),
         }
     }
+}
+
+/// Cycle-engine diagnostics: scheduler-internal tallies that are *not*
+/// part of [`ActivityCounters`] (they describe how the engine ran, not
+/// what the chip did). Exposed via [`Machine::engine_metrics`] and
+/// published to the `piton-obs` metrics registry by
+/// [`Machine::publish_metrics`] (called on drop, so `reproduce` sweeps
+/// aggregate them without every experiment knowing about metrics).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EngineMetrics {
+    /// Total `Core::step` calls (same value as [`Machine::engine_steps`]).
+    pub steps: u64,
+    /// Ready-calendar heap pops, including stale (lazily-deleted) ones.
+    pub calendar_pops: u64,
+    /// Pops whose entry no longer matched the core's cached ready time.
+    pub calendar_stale_pops: u64,
+    /// Cycles driven by the event-driven calendar mode.
+    pub event_cycles: u64,
+    /// Cycles driven by the dense polling mode.
+    pub dense_cycles: u64,
+    /// Cycles driven by the reference naive engine.
+    pub naive_cycles: u64,
+    /// Mode handovers (calendar ↔ dense) within `run` calls.
+    pub handovers: u64,
+    /// Histogram of cores issuing per serviced cycle (recorded only
+    /// while the metrics registry is enabled).
+    pub issue_duty: Histogram,
+}
+
+/// Per-counter watermarks so [`Machine::publish_metrics`] publishes
+/// deltas: safe to call repeatedly (and from `Drop`) without double
+/// counting.
+#[derive(Debug, Clone, Copy, Default)]
+struct PublishedMarks {
+    steps: u64,
+    calendar_pops: u64,
+    calendar_stale_pops: u64,
+    event_cycles: u64,
+    dense_cycles: u64,
+    naive_cycles: u64,
+    handovers: u64,
 }
 
 /// The simulated Piton chip.
@@ -234,8 +280,17 @@ pub struct Machine {
     /// Total `Core::step` calls made by the engine — a scheduler
     /// diagnostic (not part of [`ActivityCounters`]): the event-driven
     /// engine's value stays proportional to *busy* core-cycles, where
-    /// the naive engine's grows with `cores × cycles`.
+    /// the naive engine's grows with `cores × cycles`. Promoted into
+    /// the metrics registry (as `engine.steps`) by
+    /// [`Machine::publish_metrics`].
     engine_steps: u64,
+    /// Scheduler diagnostics beyond the step count.
+    emetrics: EngineMetrics,
+    /// Publish watermarks (see [`Machine::publish_metrics`]).
+    published: PublishedMarks,
+    /// Test-only scheduler fault: delays every ready-calendar wakeup by
+    /// this many cycles. Zero in production.
+    calendar_skew: u64,
 }
 
 impl Machine {
@@ -260,6 +315,9 @@ impl Machine {
             act: ActivityCounters::new(),
             now: 0,
             engine_steps: 0,
+            emetrics: EngineMetrics::default(),
+            published: PublishedMarks::default(),
+            calendar_skew: 0,
         }
     }
 
@@ -389,12 +447,32 @@ impl Machine {
             return;
         }
         loop {
-            if self.run_event(end) {
+            if trace::active() {
+                trace::emit(TraceEvent::Engine {
+                    cycle: self.now,
+                    mode: EngineMode::Calendar,
+                });
+            }
+            let entered = self.now;
+            let done = self.run_event(end);
+            self.emetrics.event_cycles += self.now - entered;
+            if done {
                 return;
             }
-            if self.run_dense(end) {
+            self.emetrics.handovers += 1;
+            if trace::active() {
+                trace::emit(TraceEvent::Engine {
+                    cycle: self.now,
+                    mode: EngineMode::Dense,
+                });
+            }
+            let entered = self.now;
+            let done = self.run_dense(end);
+            self.emetrics.dense_cycles += self.now - entered;
+            if done {
                 return;
             }
+            self.emetrics.handovers += 1;
         }
     }
 
@@ -404,10 +482,11 @@ impl Machine {
     #[allow(clippy::too_many_lines)]
     fn run_event(&mut self, end: u64) -> bool {
         // Per-core charge cache and chip-wide per-cycle rate totals.
+        let skew = self.calendar_skew;
         let mut sched: Vec<CoreSched> = self
             .cores
             .iter()
-            .map(|c| CoreSched::of(c, self.now))
+            .map(|c| CoreSched::of(c, self.now, skew))
             .collect();
         let mut total_active: u64 = sched.iter().map(|s| s.active).sum();
         let mut total_mem: u64 = sched.iter().map(|s| s.mem_wait).sum();
@@ -437,6 +516,9 @@ impl Machine {
         let mut serviced: Vec<usize> = Vec::with_capacity(self.cores.len());
 
         while self.now < end {
+            if trace::active() {
+                trace::set_cycle(self.now);
+            }
             // Earliest live calendar entry.
             let next_ready = loop {
                 match calendar.peek() {
@@ -446,6 +528,8 @@ impl Machine {
                             break Some(t);
                         }
                         calendar.pop();
+                        self.emetrics.calendar_pops += 1;
+                        self.emetrics.calendar_stale_pops += 1;
                     }
                 }
             };
@@ -458,8 +542,11 @@ impl Machine {
                         break;
                     }
                     calendar.pop();
+                    self.emetrics.calendar_pops += 1;
                     if sched[k].ready_at == Some(t) {
                         ready.push(k);
+                    } else {
+                        self.emetrics.calendar_stale_pops += 1;
                     }
                 }
                 ready.sort_unstable();
@@ -482,11 +569,12 @@ impl Machine {
             self.act.core_active_cycles += total_active - sub_active;
             self.act.mem_stall_cycles += total_mem - sub_mem;
 
+            let mut issued: u64 = 0;
             for &k in &serviced {
-                self.cores[k].step(self.now, &mut self.memsys, &mut self.act);
+                issued += u64::from(self.cores[k].step(self.now, &mut self.memsys, &mut self.act));
                 self.engine_steps += 1;
                 let old = sched[k];
-                let new = CoreSched::of(&self.cores[k], self.now);
+                let new = CoreSched::of(&self.cores[k], self.now, skew);
                 total_active = total_active - old.active + new.active;
                 total_mem = total_mem - old.mem_wait + new.mem_wait;
                 live = live - usize::from(old.ready_at.is_some())
@@ -512,6 +600,9 @@ impl Machine {
                     }
                 }
                 draining.sort_unstable();
+            }
+            if issued > 0 && metrics::enabled() {
+                self.emetrics.issue_duty.observe(issued);
             }
 
             self.act.cycles += 1;
@@ -582,6 +673,9 @@ impl Machine {
         let all = polled.len() == self.cores.len();
         let mut low_duty_streak: u32 = 0;
         while self.now < end {
+            if trace::active() {
+                trace::set_cycle(self.now);
+            }
             let mut issued = 0;
             if all {
                 for core in &mut self.cores {
@@ -594,6 +688,9 @@ impl Machine {
                 }
             }
             self.engine_steps += polled.len() as u64;
+            if issued > 0 && metrics::enabled() {
+                self.emetrics.issue_duty.observe(issued as u64);
+            }
             self.act.cycles += 1;
             self.now += 1;
             if issued == 0 {
@@ -646,7 +743,17 @@ impl Machine {
     #[cfg(any(test, feature = "naive-engine"))]
     pub fn run_naive(&mut self, cycles: u64) {
         let end = self.now + cycles;
+        self.emetrics.naive_cycles += cycles;
+        if trace::active() {
+            trace::emit(TraceEvent::Engine {
+                cycle: self.now,
+                mode: EngineMode::Naive,
+            });
+        }
         while self.now < end {
+            if trace::active() {
+                trace::set_cycle(self.now);
+            }
             let mut issued_any = false;
             for core in &mut self.cores {
                 issued_any |= core.step(self.now, &mut self.memsys, &mut self.act);
@@ -691,6 +798,70 @@ impl Machine {
     #[must_use]
     pub fn engine_steps(&self) -> u64 {
         self.engine_steps
+    }
+
+    /// Cycle-engine diagnostics: calendar pops, per-mode cycle counts,
+    /// handovers and the issue-duty histogram (histogram recorded only
+    /// while the metrics registry is enabled).
+    #[must_use]
+    pub fn engine_metrics(&self) -> EngineMetrics {
+        EngineMetrics {
+            steps: self.engine_steps,
+            ..self.emetrics.clone()
+        }
+    }
+
+    /// Publishes this machine's engine diagnostics into the `piton-obs`
+    /// metrics registry under `prefix` (counters `<prefix>.steps`,
+    /// `<prefix>.calendar_pops`, … and histogram `<prefix>.issue_duty`).
+    ///
+    /// Delta-published against per-machine watermarks, so repeated
+    /// calls (and the automatic call on drop) never double count. No-op
+    /// while the registry is disabled.
+    pub fn publish_metrics_as(&mut self, prefix: &str) {
+        if !metrics::enabled() {
+            return;
+        }
+        let publish = |name: &str, cur: u64, mark: &mut u64| {
+            let delta = cur - *mark;
+            *mark = cur;
+            if delta > 0 {
+                metrics::counter_add(&format!("{prefix}.{name}"), delta);
+            }
+        };
+        let m = &self.emetrics;
+        let w = &mut self.published;
+        publish("steps", self.engine_steps, &mut w.steps);
+        publish("calendar_pops", m.calendar_pops, &mut w.calendar_pops);
+        publish(
+            "calendar_stale_pops",
+            m.calendar_stale_pops,
+            &mut w.calendar_stale_pops,
+        );
+        publish("event_cycles", m.event_cycles, &mut w.event_cycles);
+        publish("dense_cycles", m.dense_cycles, &mut w.dense_cycles);
+        publish("naive_cycles", m.naive_cycles, &mut w.naive_cycles);
+        publish("handovers", m.handovers, &mut w.handovers);
+        let duty = std::mem::take(&mut self.emetrics.issue_duty);
+        if duty.count > 0 {
+            metrics::histogram_merge(&format!("{prefix}.issue_duty"), &duty);
+        }
+    }
+
+    /// [`Machine::publish_metrics_as`] under the standard `engine`
+    /// prefix.
+    pub fn publish_metrics(&mut self) {
+        self.publish_metrics_as("engine");
+    }
+
+    /// Test-only scheduler fault injection: delays every ready-calendar
+    /// wakeup by `skew` cycles, desynchronizing the event-driven engine
+    /// from [`Machine::run_naive`] without touching the naive path —
+    /// the deliberate divergence the `trace_diff` harness must localize.
+    /// Zero restores exact equivalence.
+    #[doc(hidden)]
+    pub fn set_calendar_skew(&mut self, skew: u64) {
+        self.calendar_skew = skew;
     }
 
     /// Runs until every thread halts or `max_cycles` elapse. Returns
@@ -802,6 +973,9 @@ impl Machine {
         let plan = self.memsys.noc.plan(NocId::Noc2, entry, dst);
         let mut flit_toggle = false;
         while self.now < end {
+            if trace::active() {
+                trace::set_cycle(self.now);
+            }
             for slot in &mut flits[1..] {
                 *slot = if flit_toggle { odd } else { even };
                 flit_toggle = !flit_toggle;
@@ -816,6 +990,16 @@ impl Machine {
             self.act.cycles += step;
             self.now += step;
         }
+    }
+}
+
+impl Drop for Machine {
+    /// Publishes any unpublished engine diagnostics so sweeps aggregate
+    /// scheduler behavior without each experiment calling
+    /// [`Machine::publish_metrics`] — a no-op (one relaxed load) unless
+    /// the metrics registry is enabled.
+    fn drop(&mut self) {
+        self.publish_metrics();
     }
 }
 
@@ -1111,58 +1295,36 @@ mod tests {
 
     mod engine_equivalence {
         use super::*;
+        use crate::testprog::decode_program;
         use proptest::prelude::*;
 
-        /// Mixes a seed word with a position (SplitMix64 finalizer) so
-        /// every (slot, pc) gets an independent instruction word.
-        fn mix(seed: u64, slot: usize, i: usize) -> u64 {
-            let mut z = seed ^ (slot as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-            z = z.wrapping_add((i as u64 + 1).wrapping_mul(0xBF58_476D_1CE4_E5B9));
-            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-            z ^ (z >> 31)
-        }
-
-        /// Decodes one instruction from a random word. Covers every
-        /// scheduler-relevant class: 1-cycle ops, long execute occupancy
-        /// (sdivx), memory waits (ldx/casx), store-buffer pressure
-        /// (stx/membar) and control flow (loops included).
-        fn decode(word: u64, len: usize) -> Instruction {
-            let r = |sh: u32| Reg::new(1 + ((word >> sh) as u8 % 6));
-            // Word-aligned offsets within a few pages keeps some address
-            // sharing across cores (coherence traffic) while mulx-fed
-            // bases also reach far pages.
-            let imm = ((word >> 32) & 0x1FF) as i64 * 8;
-            match word % 12 {
-                0 => Instruction::nop(),
-                1 | 2 => Instruction::movi(r(8), ((word >> 24) & 0xFFFF) as i64),
-                3 => Instruction::alu(Opcode::Add, r(8), r(12), r(16)),
-                4 => Instruction::alu(Opcode::Mulx, r(8), r(12), r(16)),
-                5 => Instruction::alu(Opcode::Sdivx, r(8), r(12), r(16)),
-                6 => Instruction::ldx(r(8), r(12), imm),
-                7 | 8 => Instruction::stx(r(8), r(12), imm),
-                9 => Instruction::casx(r(8), r(12), r(16)),
-                10 => Instruction::membar(),
-                _ => Instruction::branch(
-                    if word & 0x400 == 0 {
-                        Opcode::Bne
-                    } else {
-                        Opcode::Beq
-                    },
-                    r(8),
-                    r(12),
-                    (word >> 44) as usize % (len + 1),
+        /// Re-runs both engines with retire/cache/noc tracing and
+        /// renders the first divergent event — the context a bare
+        /// counter mismatch hides. Engine-mode events are excluded:
+        /// the two engines legitimately differ there.
+        fn divergence_context(build: impl Fn() -> Machine, chunks: &[u64]) -> String {
+            let spec = piton_obs::trace::TraceSpec::parse("retire,cache,noc").expect("static spec");
+            let (_, event_trace) = piton_obs::trace::capture(&spec, || {
+                let mut m = build();
+                for &chunk in chunks {
+                    m.run(chunk);
+                }
+                m.now()
+            });
+            let (_, naive_trace) = piton_obs::trace::capture(&spec, || {
+                let mut m = build();
+                for &chunk in chunks {
+                    m.run_naive(chunk);
+                }
+                m.now()
+            });
+            match piton_obs::diff::first_divergence(&event_trace, &naive_trace) {
+                Some(d) => format!("{d}"),
+                None => format!(
+                    "traces identical over {} events (divergence is outside traced subsystems)",
+                    event_trace.len()
                 ),
             }
-        }
-
-        fn decode_program(seeds: &[u64], slot: usize) -> Program {
-            let seed = seeds[slot % seeds.len()];
-            let len = 4 + (mix(seed, slot, 0) as usize % 14);
-            let instrs = (0..len)
-                .map(|i| decode(mix(seed, slot, i + 1), len))
-                .collect();
-            Program::from_instructions(instrs)
         }
 
         proptest! {
@@ -1196,8 +1358,45 @@ mod tests {
                 prop_assert_eq!(event.now(), naive.now());
                 prop_assert_eq!(event.retired(), naive.retired());
                 prop_assert!(event.engine_steps() <= naive.engine_steps());
-                // Full counter equality, f64 fields bitwise included.
-                prop_assert_eq!(event.counters(), naive.counters());
+                // Full counter equality, f64 fields bitwise included —
+                // on mismatch, localize it via the trace differential.
+                if event.counters() != naive.counters() {
+                    prop_assert_eq!(
+                        event.counters(),
+                        naive.counters(),
+                        "engines diverged; {}",
+                        divergence_context(build, &chunks)
+                    );
+                }
+                // The diagnostic counters promote into the metrics
+                // registry exactly once (delta-published watermarks), so
+                // the skip behavior asserted above is visible to the
+                // observability layer too. A unique prefix isolates this
+                // test from other machines dropping concurrently.
+                piton_obs::metrics::enable();
+                let prefix = format!("test_eq.{}", seeds.first().copied().unwrap_or(0));
+                event.publish_metrics_as(&prefix);
+                let snap = piton_obs::metrics::snapshot();
+                prop_assert_eq!(
+                    snap.counters.get(&format!("{}.steps", prefix)).copied(),
+                    Some(event.engine_steps())
+                );
+                let modal: u64 = [
+                    format!("{}.event_cycles", prefix),
+                    format!("{}.dense_cycles", prefix),
+                ]
+                .iter()
+                .filter_map(|k| snap.counters.get(k))
+                .sum();
+                prop_assert_eq!(modal, event.engine_metrics().event_cycles
+                    + event.engine_metrics().dense_cycles);
+                // Re-publishing must be a no-op (watermarks consumed).
+                event.publish_metrics_as(&prefix);
+                let again = piton_obs::metrics::snapshot();
+                prop_assert_eq!(
+                    again.counters.get(&format!("{}.steps", prefix)).copied(),
+                    Some(event.engine_steps())
+                );
             }
 
             /// Table IV degraded parts: under ANY faulty-core mask the

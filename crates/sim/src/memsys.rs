@@ -27,6 +27,7 @@
 
 use piton_arch::config::{ChipConfig, SliceMapping};
 use piton_arch::topology::TileId;
+use piton_obs::trace::{self, CacheKind, CacheLevel, TraceEvent};
 use serde::{Deserialize, Serialize};
 
 use crate::cache::{LineState, SetAssocCache};
@@ -59,6 +60,19 @@ const RESP_FLITS: usize = 3;
 const INV_FLITS: usize = 2;
 /// Flits in an invalidation acknowledgement.
 const ACK_FLITS: usize = 1;
+
+/// Outlined cache-transition trace emission — callers gate on
+/// [`trace::active`] so the hot path pays one branch when tracing is off.
+#[cold]
+fn trace_cache(cycle: u64, tile: TileId, level: CacheLevel, kind: CacheKind, addr: u64) {
+    trace::emit(TraceEvent::Cache {
+        cycle,
+        tile: tile.index() as u32,
+        level,
+        kind,
+        addr,
+    });
+}
 
 /// Where a load was serviced.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -200,12 +214,23 @@ impl MemorySystem {
     /// (covering all four 16 B sublines).
     fn invalidate_tile_copies(&mut self, tile: TileId, l2_line: u64, act: &mut ActivityCounters) {
         let sub = self.cfg.l15.line_bytes;
+        let mut hit_any = false;
         for k in 0..(self.cfg.l2.line_bytes / sub) {
             let a = l2_line + k * sub;
             self.l1d[tile.index()].invalidate(a);
             if self.l15[tile.index()].invalidate(a).is_some() {
                 act.invalidations += 1;
+                hit_any = true;
             }
+        }
+        if hit_any && trace::active() {
+            trace_cache(
+                trace::ambient_cycle(),
+                tile,
+                CacheLevel::L15,
+                CacheKind::Invalidate,
+                l2_line,
+            );
         }
     }
 
@@ -312,6 +337,15 @@ impl MemorySystem {
 
     /// Write back an evicted dirty L1.5 line to its home L2.
     fn writeback_l15_victim(&mut self, tile: TileId, line_addr: u64, act: &mut ActivityCounters) {
+        if trace::active() {
+            trace_cache(
+                trace::ambient_cycle(),
+                tile,
+                CacheLevel::L15,
+                CacheKind::Writeback,
+                line_addr,
+            );
+        }
         let l2_line = self.l2_line(line_addr);
         let home = self.home_slice(line_addr);
         let data = Self::flit_payloads(line_addr, self.mem.read(line_addr), RESP_FLITS);
@@ -432,8 +466,15 @@ impl MemorySystem {
         act.l1d_reads += 1;
         let value = self.mem.read(addr);
         act.mem_value_activity += value_activity(value);
+        let tracing = trace::active();
+        if tracing {
+            trace::set_cycle(now);
+        }
 
         if self.l1d[tile.index()].lookup(addr, now).is_some() {
+            if tracing {
+                trace_cache(now, tile, CacheLevel::L1D, CacheKind::Hit, addr);
+            }
             return LoadOutcome {
                 value,
                 latency: L1_HIT_CYCLES,
@@ -447,6 +488,9 @@ impl MemorySystem {
         if self.l15[tile.index()].lookup(addr, now).is_some() {
             let l1_line = addr & !(self.cfg.l1d.line_bytes - 1);
             let _ = self.l1d[tile.index()].insert(l1_line, LineState::Shared, now);
+            if tracing {
+                trace_cache(now, tile, CacheLevel::L15, CacheKind::Hit, addr);
+            }
             return LoadOutcome {
                 value,
                 latency: L15_HIT_CYCLES,
@@ -484,6 +528,14 @@ impl MemorySystem {
         } else {
             HitLevel::Memory { hops: route.hops }
         };
+        if tracing {
+            let (lvl, kind) = if l2_hit {
+                (CacheLevel::L2, CacheKind::Hit)
+            } else {
+                (CacheLevel::Memory, CacheKind::Fill)
+            };
+            trace_cache(now, tile, lvl, kind, addr);
+        }
         LoadOutcome {
             value,
             latency: home_latency + rt,
@@ -505,11 +557,23 @@ impl MemorySystem {
         act.l1d_writes += 1;
         act.l15_writes += 1;
         act.mem_value_activity += value_activity(value);
+        let tracing = trace::active();
+        if tracing {
+            trace::set_cycle(now);
+        }
 
         let owned = matches!(
             self.l15[tile.index()].lookup(addr, now),
             Some(LineState::Modified | LineState::Exclusive)
         );
+        if tracing {
+            let kind = if owned {
+                CacheKind::Hit
+            } else {
+                CacheKind::Upgrade
+            };
+            trace_cache(now, tile, CacheLevel::L15, kind, addr);
+        }
         let latency = if owned {
             self.l15[tile.index()]
                 .set_state(addr & !(self.cfg.l15.line_bytes - 1), LineState::Modified);
@@ -555,6 +619,10 @@ impl MemorySystem {
         act.dir_lookups += 1;
         act.l2_reads += 1;
         act.l2_writes += 1;
+        if trace::active() {
+            trace::set_cycle(now);
+            trace_cache(now, tile, CacheLevel::L2, CacheKind::Atomic, addr);
+        }
 
         let l2_line = self.l2_line(addr);
         let home = self.home_slice(addr);

@@ -35,6 +35,7 @@
 //! ```
 
 use piton_arch::topology::{Mesh, TileId};
+use piton_obs::trace::{self, TraceEvent};
 use serde::{Deserialize, Serialize};
 
 use crate::events::ActivityCounters;
@@ -60,6 +61,37 @@ impl NocId {
             NocId::Noc2 => 1,
             NocId::Noc3 => 2,
         }
+    }
+}
+
+/// Outlined per-hop trace emission — callers gate on [`trace::active`]
+/// so the per-flit accounting loop stays branch-cheap when tracing is
+/// off. The cycle stamp is the ambient clock set by the memory system
+/// (the fabric API itself is untimed).
+#[cold]
+fn trace_hop(noc: NocId, from: TileId, to: TileId, flits: usize) {
+    trace::emit(TraceEvent::NocHop {
+        cycle: trace::ambient_cycle(),
+        noc: noc.index() as u32,
+        from: from.index() as u32,
+        to: to.index() as u32,
+        flits: flits as u32,
+    });
+}
+
+/// Emits one hop event per link of a precomputed plan, reconstructing
+/// the endpoints from the flat link index (`tile * 4 + dir`, E/W/S/N).
+#[cold]
+fn trace_planned_hops(noc: NocId, links: &[usize], width: usize, flits: usize) {
+    for &l in links {
+        let from = l / 4;
+        let to = match l % 4 {
+            0 => from + 1,
+            1 => from - 1,
+            2 => from + width,
+            _ => from - width,
+        };
+        trace_hop(noc, TileId::new(from), TileId::new(to), flits);
     }
 }
 
@@ -156,6 +188,7 @@ impl NocFabric {
             return 0;
         }
 
+        let tracing = trace::active();
         let net = &mut self.link_state[noc.index()];
         let mut at = src;
         while let Some(next) = self.mesh.next_hop(at, dst) {
@@ -165,6 +198,9 @@ impl NocFabric {
                 act.noc_bit_switches += u64::from(hamming(*state, flit));
                 act.noc_coupling_switches += u64::from(coupling_transitions(*state, flit));
                 *state = flit;
+            }
+            if tracing {
+                trace_hop(noc, at, next, flits.len());
             }
             at = next;
         }
@@ -213,6 +249,9 @@ impl NocFabric {
             return 0;
         }
 
+        if trace::active() {
+            trace_planned_hops(plan.noc, &plan.links, self.width, flits.len());
+        }
         let net = &mut self.link_state[plan.noc.index()];
         let first = net[plan.links[0]];
         if plan.links.iter().all(|&l| net[l] == first) {

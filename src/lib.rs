@@ -28,6 +28,7 @@
 pub use piton_arch as arch;
 pub use piton_board as board;
 pub use piton_core as characterization;
+pub use piton_obs as obs;
 pub use piton_power as power;
 pub use piton_sim as sim;
 pub use piton_workloads as workloads;

@@ -9,6 +9,8 @@ use piton::arch::topology::TileId;
 use piton::sim::events::ActivityCounters;
 use piton::sim::memsys::MemorySystem;
 
+mod common;
+
 #[derive(Debug, Clone)]
 enum Op {
     Load {
@@ -150,7 +152,8 @@ proptest! {
 /// ```
 ///
 /// The vendored proptest stub does not replay regression files, so the
-/// recorded input is pinned here as a plain test: a store of zero from
+/// recorded input is pinned (in `common::pinned`, shared with the
+/// regression file) and replayed as a plain test: a store of zero from
 /// tile 3 into the 0x80_0000 region must be observed by a remote load
 /// from tile 14 — a stored zero exercises the directory state exactly
 /// like any other value even though the loaded value matches the
@@ -160,13 +163,24 @@ fn regression_remote_load_observes_stored_zero() {
     let mut sys = MemorySystem::new(&ChipConfig::piton());
     let mut act = ActivityCounters::default();
     let mut now = 0u64;
-    let addr = 8_388_800; // 0x80_0040
+    let addr = common::pinned::COHERENCE_ADDR; // 0x80_0040
 
-    let lat = sys.store_drain(TileId::new(3), addr, 0, now, &mut act);
+    let lat = sys.store_drain(
+        TileId::new(common::pinned::COHERENCE_STORE_TILE),
+        addr,
+        0,
+        now,
+        &mut act,
+    );
     assert!(sys.coherence_ok(addr), "coherence violated after store");
     now += lat + 1;
 
-    let out = sys.load(TileId::new(14), addr, now, &mut act);
+    let out = sys.load(
+        TileId::new(common::pinned::COHERENCE_LOAD_TILE),
+        addr,
+        now,
+        &mut act,
+    );
     assert_eq!(out.value, 0, "remote load must see the stored value");
     assert!(sys.coherence_ok(addr), "coherence violated after load");
 }

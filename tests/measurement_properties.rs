@@ -10,6 +10,8 @@ use piton::power::model::{OperatingPoint, PowerModel};
 use piton::power::thermal::{Cooling, ThermalModel};
 use piton::sim::events::ActivityCounters;
 
+mod common;
+
 proptest! {
     /// The EPI formula inverts: injecting ΔP computed from a chosen EPI
     /// recovers that EPI exactly.
@@ -128,14 +130,20 @@ proptest! {
 /// ```
 ///
 /// The vendored proptest stub does not replay regression files, so the
-/// recorded input is pinned here as a plain test: with a completely
+/// recorded input is pinned (in `common::pinned`, shared with the
+/// regression file) and replayed as a plain test: with a completely
 /// ineffective fan (effectiveness = 0), the thermal transient must
 /// still converge monotonically to the (much hotter) steady state and
 /// never overshoot it from below.
 #[test]
 fn regression_thermal_transient_converges_with_dead_fan() {
-    let p = Watts(1_417.627_412_073_999_7 / 1e3);
-    let mut t = ThermalModel::new(Cooling::BarePackageFan { effectiveness: 0.0 }, 20.0);
+    let p = Watts(common::pinned::THERMAL_P_MW / 1e3);
+    let mut t = ThermalModel::new(
+        Cooling::BarePackageFan {
+            effectiveness: common::pinned::THERMAL_FAN_EFFECTIVENESS,
+        },
+        20.0,
+    );
     let (j_ss, s_ss) = t.steady_state(p);
     let mut prev_gap = f64::MAX;
     for _ in 0..300 {

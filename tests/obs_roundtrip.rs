@@ -1,0 +1,216 @@
+//! Round-trip property tests for the observability layer: trace
+//! events through their JSONL encoding, fault plans through their spec
+//! rendering, and run manifests through their JSON document.
+
+// The vendored `proptest!` macro is a token-muncher; keep each
+// invocation to a single property so expansion stays within the
+// default recursion limit.
+#![recursion_limit = "256"]
+
+use proptest::prelude::*;
+
+use piton::board::fault::{Brownout, FaultPlan, Sabotage, SabotageKind};
+use piton::obs::manifest::{HoleRecord, RunManifest, SectionRecord};
+use piton::obs::metrics::Histogram;
+use piton::obs::trace::{
+    decode_jsonl, encode_jsonl, CacheKind, CacheLevel, EngineMode, TraceEvent,
+};
+use piton::obs::MetricsSnapshot;
+
+/// Decodes one trace event from raw random words — every variant and
+/// every enum value is reachable, with full-range integer payloads.
+fn event_from_words(tag: u64, a: u64, b: u64, c: u64) -> TraceEvent {
+    const OPS: [&str; 5] = ["Add", "Sdivx", "Ldx", "Casx", "Membar"];
+    const LEVELS: [CacheLevel; 5] = [
+        CacheLevel::L1I,
+        CacheLevel::L1D,
+        CacheLevel::L15,
+        CacheLevel::L2,
+        CacheLevel::Memory,
+    ];
+    const KINDS: [CacheKind; 6] = [
+        CacheKind::Hit,
+        CacheKind::Fill,
+        CacheKind::Upgrade,
+        CacheKind::Invalidate,
+        CacheKind::Writeback,
+        CacheKind::Atomic,
+    ];
+    const MODES: [EngineMode; 3] = [EngineMode::Calendar, EngineMode::Dense, EngineMode::Naive];
+    match tag % 5 {
+        0 => TraceEvent::Retire {
+            cycle: a,
+            tile: (b % 25) as u32,
+            thread: (b >> 32) as u32 % 2,
+            op: OPS[c as usize % OPS.len()].to_owned(),
+            pc: c,
+        },
+        1 => TraceEvent::Cache {
+            cycle: a,
+            tile: (b % 25) as u32,
+            level: LEVELS[b as usize % LEVELS.len()],
+            kind: KINDS[(b >> 8) as usize % KINDS.len()],
+            addr: c,
+        },
+        2 => TraceEvent::NocHop {
+            cycle: a,
+            noc: (b % 3) as u32,
+            from: (b >> 8) as u32 % 25,
+            to: (b >> 16) as u32 % 25,
+            flits: (b >> 24) as u32 % 8,
+        },
+        3 => TraceEvent::Adc {
+            channel: a,
+            sample: b,
+            microwatts: c as i64,
+        },
+        _ => TraceEvent::Engine {
+            cycle: a,
+            mode: MODES[b as usize % MODES.len()],
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// encode → decode is the identity on arbitrary event sequences,
+    /// including extreme u64/i64 payloads.
+    #[test]
+    fn trace_jsonl_round_trips(
+        words in proptest::collection::vec(
+            (
+                proptest::strategy::any::<u64>(),
+                proptest::strategy::any::<u64>(),
+                proptest::strategy::any::<u64>(),
+                proptest::strategy::any::<u64>(),
+            ),
+            0..40,
+        ),
+    ) {
+        let events: Vec<TraceEvent> = words
+            .iter()
+            .map(|&(tag, a, b, c)| event_from_words(tag, a, b, c))
+            .collect();
+        let doc = encode_jsonl(&events);
+        let back = decode_jsonl(&doc).expect("encoded stream must decode");
+        prop_assert_eq!(back, events);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `FaultPlan::parse(&plan.render())` reconstructs the plan exactly
+    /// (bitwise f64 rates included — `Display` round-trips shortest
+    /// form).
+    #[test]
+    fn fault_plan_spec_round_trips(
+        seed in proptest::strategy::any::<u64>(),
+        rates in (0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0),
+        zero_mask in 0u8..8,
+        brownout in (0u8..2, 0usize..512, 1usize..64, 0.0f64..1.0),
+        sabotage in proptest::collection::vec(
+            (0u8..2, 0usize..3, 0usize..64, 1u32..6),
+            0..4,
+        ),
+    ) {
+        const SECTIONS: [&str; 3] = ["epi", "noc", "scaling"];
+        let zeroed = |bit: u8, r: f64| if zero_mask & bit != 0 { 0.0 } else { r };
+        let plan = FaultPlan {
+            seed,
+            drop_rate: zeroed(1, rates.0),
+            stuck_rate: zeroed(2, rates.1),
+            glitch_rate: zeroed(4, rates.2),
+            brownout: (brownout.0 == 1).then_some(Brownout {
+                start_sample: brownout.1,
+                samples: brownout.2,
+                factor: brownout.3,
+            }),
+            sabotage: sabotage
+                .iter()
+                .map(|&(kind, section, index, attempts)| Sabotage {
+                    section: SECTIONS[section].to_owned(),
+                    index,
+                    kind: if kind == 0 {
+                        SabotageKind::Kill
+                    } else {
+                        SabotageKind::Flaky { failing_attempts: attempts }
+                    },
+                })
+                .collect(),
+        };
+        let spec = plan.render();
+        let back = FaultPlan::parse(&spec)
+            .unwrap_or_else(|e| panic!("rendered spec {spec:?} must parse: {e}"));
+        prop_assert_eq!(back, plan);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Run manifests round-trip through their JSON document with
+    /// arbitrary metrics payloads.
+    #[test]
+    fn run_manifest_round_trips(
+        jobs in 1usize..64,
+        wall in (0.0f64..10_000.0, 0.0f64..10_000.0),
+        counters in proptest::collection::vec(
+            (0usize..6, proptest::strategy::any::<u64>()),
+            0..6,
+        ),
+        observations in proptest::collection::vec(proptest::strategy::any::<u64>(), 1..20),
+        hole_count in 0usize..3,
+        with_fault in 0u8..2,
+    ) {
+        const NAMES: [&str; 6] = [
+            "engine.steps",
+            "engine.calendar_pops",
+            "sweep.retries",
+            "sweep.holes",
+            "monitor.kept",
+            "monitor.dropped",
+        ];
+        let mut metrics = MetricsSnapshot::default();
+        for &(name, value) in &counters {
+            let slot = metrics.counters.entry(NAMES[name].to_owned()).or_insert(0);
+            *slot = slot.wrapping_add(value);
+        }
+        metrics.gauges.insert("bench.temp_c".to_owned(), wall.1);
+        let mut h = Histogram::default();
+        for &v in &observations {
+            h.observe(v);
+        }
+        metrics.histograms.insert("engine.issue_duty".to_owned(), h);
+
+        let manifest = RunManifest {
+            fidelity: "quick".to_owned(),
+            jobs,
+            fault_plan: (with_fault == 1)
+                .then(|| FaultPlan::with_seed(jobs as u64).render()),
+            total_wall_s: wall.0,
+            sections: vec![SectionRecord {
+                title: "Figure 11 — energy per instruction".to_owned(),
+                wall_s: wall.0,
+                busy_s: wall.1,
+                sweeps: 1,
+                points: 46,
+            }],
+            holes: (0..hole_count)
+                .map(|i| HoleRecord {
+                    section: "noc".to_owned(),
+                    index: i,
+                    point: format!("point {i}"),
+                    attempts: 3,
+                    error: "injected".to_owned(),
+                })
+                .collect(),
+            metrics,
+        };
+        let doc = manifest.to_json();
+        let back = RunManifest::from_json(&doc)
+            .unwrap_or_else(|e| panic!("manifest must parse back: {e}"));
+        prop_assert_eq!(back, manifest);
+    }
+}

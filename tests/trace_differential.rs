@@ -1,0 +1,242 @@
+//! Golden-trace differential harness: the event-driven cycle engine
+//! (`Machine::run`) and the reference per-cycle engine
+//! (`Machine::run_naive`) must produce *identical* structured trace
+//! streams over randomized programs — and when they don't, the
+//! differential must localize the first divergent event to a cycle and
+//! a tile, which is how an engine-equivalence failure gets bisected
+//! (see `trace_diff --desync=N` for the interactive version of the
+//! same harness).
+//!
+//! Engine-mode events are masked out of every comparison: the two
+//! engines legitimately schedule themselves differently.
+//!
+//! The `golden_trace_*` tests additionally pin one representative
+//! program per experiment family byte-for-byte against committed JSONL
+//! fixtures in `tests/golden/` (`PITON_BLESS=1` regenerates).
+
+use piton::arch::config::ChipConfig;
+use piton::arch::isa::{Instruction, Opcode, Reg};
+use piton::arch::topology::TileId;
+use piton::obs::diff::first_divergence;
+use piton::obs::trace::{self, encode_jsonl, TraceSpec};
+use piton::sim::machine::{Machine, SwitchPattern};
+use piton::sim::program::Program;
+use piton::sim::testprog;
+
+mod common;
+
+fn machine() -> Machine {
+    Machine::new(&ChipConfig::default())
+}
+
+fn diff_spec() -> TraceSpec {
+    TraceSpec::parse("retire,cache,noc").expect("static spec")
+}
+
+/// Captures the full trace of `body` on a fresh machine.
+fn capture_run(spec: &TraceSpec, body: impl FnOnce(&mut Machine)) -> Vec<piton::obs::TraceEvent> {
+    let (_, events) = trace::capture(spec, || {
+        let mut m = machine();
+        body(&mut m);
+    });
+    events
+}
+
+/// Differentially traces the standard randomized placement for a seed
+/// pool on both engines and returns the streams.
+fn differential(
+    seeds: &[u64],
+    slots: usize,
+    chunks: &[u64],
+    skew: u64,
+) -> (Vec<piton::obs::TraceEvent>, Vec<piton::obs::TraceEvent>) {
+    let placement = testprog::placement(seeds, slots);
+    let spec = diff_spec();
+    let load = |m: &mut Machine| {
+        for &(tile, thread, ref program) in &placement {
+            m.load_thread(TileId::new(tile), thread, program.clone());
+        }
+    };
+    let event = capture_run(&spec, |m| {
+        load(m);
+        m.set_calendar_skew(skew);
+        for &chunk in chunks {
+            m.run(chunk);
+        }
+    });
+    let naive = capture_run(&spec, |m| {
+        load(m);
+        for &chunk in chunks {
+            m.run_naive(chunk);
+        }
+    });
+    (event, naive)
+}
+
+#[test]
+fn engines_produce_identical_traces_on_randomized_programs() {
+    for (pool, seeds) in [
+        vec![0xC0FF_EE00u64, 0xBAD_CAB1E],
+        vec![7, 1234, 0xFFFF_FFFF_FFFF_FFFF],
+        vec![0x5EED_0001, 0x5EED_0002, 0x5EED_0003, 0x5EED_0004],
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let (event, naive) = differential(&seeds, 6 + pool, &[500, 2_000, 1_500], 0);
+        assert!(
+            !event.is_empty(),
+            "seed pool {pool}: programs emitted no events — the differential is vacuous"
+        );
+        if let Some(d) = first_divergence(&event, &naive) {
+            panic!("seed pool {pool}: engines diverged\n{d}");
+        }
+    }
+}
+
+/// A deliberately-desynced pair (calendar wakeups delayed one cycle)
+/// must produce a divergence report naming the first divergent event's
+/// cycle and tile. The program keeps issue duty sparse (`sdivx`
+/// chains, 72-cycle occupancy) so the event engine stays in calendar
+/// mode, where the skew applies.
+#[test]
+fn desynced_engines_report_first_divergent_cycle_and_tile() {
+    let sparse = Program::from_instructions(vec![
+        Instruction::movi(Reg::new(1), 1_000_003),
+        Instruction::movi(Reg::new(2), 3),
+        Instruction::alu(Opcode::Sdivx, Reg::new(3), Reg::new(1), Reg::new(2)),
+        Instruction::alu(Opcode::Sdivx, Reg::new(4), Reg::new(3), Reg::new(2)),
+        Instruction::branch(Opcode::Beq, Reg::new(0), Reg::new(0), 2),
+    ]);
+    let spec = diff_spec();
+    let load = |m: &mut Machine| {
+        m.load_thread(TileId::new(6), 0, sparse.clone());
+        m.load_thread(TileId::new(18), 0, sparse.clone());
+    };
+    let event = capture_run(&spec, |m| {
+        load(m);
+        m.set_calendar_skew(1);
+        m.run(4_000);
+    });
+    let naive = capture_run(&spec, |m| {
+        load(m);
+        m.run_naive(4_000);
+    });
+    let d =
+        first_divergence(&event, &naive).expect("a skewed calendar must desynchronize the engines");
+    let msg = d.to_string();
+    assert!(
+        msg.contains("first divergent event: cycle"),
+        "report must name the divergent cycle:\n{msg}"
+    );
+    let cycle = d.cycle().expect("divergent event carries a cycle");
+    let entity = d.entity().expect("divergent event carries a tile");
+    assert!(
+        msg.contains(&format!("cycle {cycle}")) && msg.contains(&entity.to_string()),
+        "report must carry cycle {cycle} and tile {entity}:\n{msg}"
+    );
+    assert!(
+        entity == 6 || entity == 18,
+        "divergence must land on a loaded tile, got {entity}"
+    );
+}
+
+/// Tile filtering: a `tile=N` spec keeps only that tile's events.
+#[test]
+fn tile_filter_narrows_the_stream() {
+    let spec = TraceSpec::parse("retire,tile=6").expect("static spec");
+    let sparse = Program::from_instructions(vec![
+        Instruction::movi(Reg::new(1), 41),
+        Instruction::alu(Opcode::Add, Reg::new(1), Reg::new(1), Reg::new(1)),
+    ]);
+    let events = capture_run(&spec, |m| {
+        m.load_thread(TileId::new(6), 0, sparse.clone());
+        m.load_thread(TileId::new(7), 0, sparse.clone());
+        m.run(200);
+    });
+    assert!(!events.is_empty());
+    assert!(events.iter().all(|e| e.entity() == Some(6)));
+}
+
+// --- Golden trace fixtures: one representative program per ---
+// --- experiment family, pinned byte-for-byte.               ---
+
+fn assert_golden_trace(name: &str, events: &[piton::obs::TraceEvent]) {
+    assert!(!events.is_empty(), "{name}: empty trace pins nothing");
+    common::assert_matches_golden(name, &encode_jsonl(events));
+}
+
+/// EPI family (Figure 11): a single-tile ALU kernel — retirement
+/// stream only.
+#[test]
+fn golden_trace_epi_family() {
+    let program = Program::from_instructions(vec![
+        Instruction::movi(Reg::new(1), 7),
+        Instruction::movi(Reg::new(2), 9),
+        Instruction::alu(Opcode::Add, Reg::new(3), Reg::new(1), Reg::new(2)),
+        Instruction::alu(Opcode::Mulx, Reg::new(3), Reg::new(3), Reg::new(2)),
+        Instruction::alu(Opcode::Sdivx, Reg::new(4), Reg::new(3), Reg::new(1)),
+        Instruction::halt(),
+    ]);
+    let spec = TraceSpec::parse("retire").expect("static spec");
+    let events = capture_run(&spec, |m| {
+        m.load_thread(TileId::new(12), 0, program);
+        m.run(500);
+    });
+    assert_golden_trace("trace_epi.jsonl", &events);
+}
+
+/// Memory-system family (Table VII): cross-tile store/load coherence
+/// traffic — cache transitions plus the NoC hops that carry them.
+#[test]
+fn golden_trace_memory_family() {
+    let store_side = Program::from_instructions(vec![
+        Instruction::movi(Reg::new(1), 0x80_0000),
+        Instruction::movi(Reg::new(2), 77),
+        Instruction::stx(Reg::new(2), Reg::new(1), 64),
+        Instruction::membar(),
+        Instruction::halt(),
+    ]);
+    let load_side = Program::from_instructions(vec![
+        Instruction::movi(Reg::new(1), 0x80_0000),
+        Instruction::ldx(Reg::new(3), Reg::new(1), 64),
+        Instruction::ldx(Reg::new(4), Reg::new(1), 64),
+        Instruction::halt(),
+    ]);
+    let spec = TraceSpec::parse("cache,noc").expect("static spec");
+    let events = capture_run(&spec, |m| {
+        m.load_thread(TileId::new(3), 0, store_side);
+        m.run(600);
+        m.load_thread(TileId::new(14), 0, load_side);
+        m.run(600);
+    });
+    assert_golden_trace("trace_memory.jsonl", &events);
+}
+
+/// NoC family (Figure 12): the Figure 12 invalidation-traffic pattern
+/// generator — pure flit-hop stream.
+#[test]
+fn golden_trace_noc_family() {
+    let spec = TraceSpec::parse("noc").expect("static spec");
+    let events = capture_run(&spec, |m| {
+        m.run_invalidation_traffic(TileId::new(2), SwitchPattern::Fsw, 47 * 4);
+    });
+    assert_golden_trace("trace_noc.jsonl", &events);
+}
+
+/// Scaling/multithreading family (Figures 13/14): the standard
+/// randomized placement across many tiles and both threads, all
+/// subsystems traced.
+#[test]
+fn golden_trace_scaling_family() {
+    let seeds = [0x5CA1_AB1Eu64, 0xD15C_0B01];
+    let placement = testprog::placement(&seeds, 8);
+    let spec = TraceSpec::parse("retire,cache,noc").expect("static spec");
+    let events = capture_run(&spec, |m| {
+        for &(tile, thread, ref program) in &placement {
+            m.load_thread(TileId::new(tile), thread, program.clone());
+        }
+        m.run(800);
+    });
+    assert_golden_trace("trace_scaling.jsonl", &events);
+}

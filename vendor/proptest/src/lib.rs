@@ -369,6 +369,25 @@ macro_rules! proptest {
             $crate::strategy::Strategy::generate(&$strats.3, &mut $rng),
         )
     };
+    (@draw $strats:ident, $rng:ident, $a:ident $b:ident $c:ident $d:ident $e:ident) => {
+        (
+            $crate::strategy::Strategy::generate(&$strats.0, &mut $rng),
+            $crate::strategy::Strategy::generate(&$strats.1, &mut $rng),
+            $crate::strategy::Strategy::generate(&$strats.2, &mut $rng),
+            $crate::strategy::Strategy::generate(&$strats.3, &mut $rng),
+            $crate::strategy::Strategy::generate(&$strats.4, &mut $rng),
+        )
+    };
+    (@draw $strats:ident, $rng:ident, $a:ident $b:ident $c:ident $d:ident $e:ident $f:ident) => {
+        (
+            $crate::strategy::Strategy::generate(&$strats.0, &mut $rng),
+            $crate::strategy::Strategy::generate(&$strats.1, &mut $rng),
+            $crate::strategy::Strategy::generate(&$strats.2, &mut $rng),
+            $crate::strategy::Strategy::generate(&$strats.3, &mut $rng),
+            $crate::strategy::Strategy::generate(&$strats.4, &mut $rng),
+            $crate::strategy::Strategy::generate(&$strats.5, &mut $rng),
+        )
+    };
     ($($rest:tt)*) => {
         $crate::proptest!(@block ($crate::test_runner::ProptestConfig::default()) $($rest)*);
     };
