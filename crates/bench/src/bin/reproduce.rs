@@ -22,6 +22,14 @@
 //! rendered as explicitly-marked holes and the process exits nonzero so
 //! a partially-failed reproduction cannot pass silently.
 //!
+//! The closed-loop DVFS/thermal governor family (see
+//! `piton_core::experiments::governor`) is off by default — the stdout
+//! of an ungoverned run is byte-identical to builds that predate the
+//! governor. `--governor=POLICY` (or `PITON_GOVERNOR`), with POLICY one
+//! of `throttle-on-boot`, `race-to-halt` or `energy-frontier`, appends
+//! the closed-loop Figure 9/18 reproductions and the energy-frontier
+//! race, and records the policy in the run manifest.
+//!
 //! Observability (see `piton_obs`): `--trace SPEC` (or `PITON_TRACE`)
 //! streams structured simulator events to a JSONL file — spec grammar
 //! in `piton_obs::trace::TraceSpec` — and every invocation writes a
@@ -35,11 +43,12 @@ use std::time::{Duration, Instant};
 
 use piton_board::fault::{self, FaultPlan};
 use piton_core::experiments::{
-    ablations, area, core_scaling, epi, mem_latency, memory_energy, mt_vs_mc, noc_energy, specint,
-    static_idle, thermal, vf_sweep, yield_stats, Fidelity,
+    ablations, area, core_scaling, epi, governor, mem_latency, memory_energy, mt_vs_mc, noc_energy,
+    specint, static_idle, thermal, vf_sweep, yield_stats, Fidelity,
 };
 use piton_core::report::Hole;
 use piton_core::runner;
+use piton_core::GovernorConfig;
 use piton_obs::manifest::{HoleRecord, RunManifest, SectionRecord};
 use piton_obs::metrics;
 use piton_obs::trace::{self, TraceSpec};
@@ -110,6 +119,36 @@ fn parse_fault_plan() -> Option<FaultPlan> {
     }
 }
 
+/// Resolves the governor policy from `--governor=POLICY` /
+/// `--governor POLICY` or `PITON_GOVERNOR` (default off). Exits with
+/// status 2 on an unknown policy name.
+fn parse_governor() -> GovernorConfig {
+    let args: Vec<String> = std::env::args().collect();
+    let spec = args
+        .iter()
+        .enumerate()
+        .find_map(|(i, a)| {
+            a.strip_prefix("--governor=")
+                .map(str::to_owned)
+                .or_else(|| {
+                    (a == "--governor")
+                        .then(|| args.get(i + 1).cloned())
+                        .flatten()
+                })
+        })
+        .or_else(|| std::env::var("PITON_GOVERNOR").ok());
+    match spec {
+        None => GovernorConfig::Off,
+        Some(spec) => match GovernorConfig::parse(&spec) {
+            Ok(policy) => policy,
+            Err(e) => {
+                eprintln!("reproduce: bad --governor policy: {e}");
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
 /// Resolves the trace spec from `--trace=SPEC` / `--trace SPEC` or
 /// `PITON_TRACE`. Exits with status 2 on a malformed spec.
 fn parse_trace_spec() -> Option<TraceSpec> {
@@ -153,6 +192,7 @@ fn parse_manifest_path() -> String {
 fn main() {
     let quick = std::env::args().any(|a| a == "quick");
     let jobs = parse_jobs();
+    let governor_policy = parse_governor();
     let fault_plan = parse_fault_plan();
     let trace_spec = parse_trace_spec();
     let manifest_path = parse_manifest_path();
@@ -179,7 +219,8 @@ fn main() {
     } else {
         Fidelity::full()
     }
-    .with_jobs(jobs);
+    .with_jobs(jobs)
+    .with_governor(governor_policy);
     if let Some(plan) = &fault_plan {
         fidelity = fidelity.with_fault(fault::register(plan.clone()));
     }
@@ -187,6 +228,9 @@ fn main() {
         "reproduce: {} fidelity, {jobs} sweep worker(s)",
         if quick { "quick" } else { "full" }
     );
+    if !governor_policy.is_off() {
+        eprintln!("reproduce: closed-loop governor family enabled (policy {governor_policy})");
+    }
     if let Some(plan) = &fault_plan {
         eprintln!(
             "reproduce: fault plan active (seed {}, drop {}, stuck {}, glitch {}, {} sabotage(s))",
@@ -298,6 +342,20 @@ fn main() {
         "Figure 18 — scheduling and thermal hysteresis",
         thermal::run_scheduling(if quick { 64 } else { 180 }, 1.0, fidelity).render(),
     );
+    if !governor_policy.is_off() {
+        section(
+            "Figure 9 (closed loop) — governor throttle boundary",
+            governor::run_throttle_boundary(fidelity).render(),
+        );
+        section(
+            "Figure 18 (closed loop) — governor scheduling hysteresis",
+            governor::run_hysteresis(if quick { 64 } else { 180 }, 1.0, fidelity).render(),
+        );
+        section(
+            "Energy frontier — governor policies racing to completion",
+            governor::run_energy_frontier(fidelity).render(),
+        );
+    }
     section(
         "Ablations — design-choice sweeps (beyond the paper)",
         format!(
@@ -357,6 +415,7 @@ fn main() {
         fidelity: if quick { "quick" } else { "full" }.to_owned(),
         jobs,
         fault_plan: fault_plan.as_ref().map(FaultPlan::render),
+        governor: (!governor_policy.is_off()).then(|| governor_policy.label().to_owned()),
         total_wall_s: total.as_secs_f64(),
         sections: timings
             .iter()

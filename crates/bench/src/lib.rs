@@ -22,6 +22,7 @@ pub fn bench_fidelity() -> Fidelity {
         warmup_cycles: 20_000,
         jobs: 1,
         fault: None,
+        governor: piton_core::GovernorConfig::Off,
     }
 }
 

@@ -29,8 +29,10 @@
 use piton_arch::config::ChipConfig;
 use piton_arch::error::PitonError;
 use piton_arch::units::{Hertz, Joules, Seconds, Volts, Watts};
+use piton_obs::{metrics, trace};
+use piton_power::governor::Governor;
 use piton_power::model::{OperatingPoint, PowerModel, RailPower};
-use piton_power::thermal::{Cooling, ThermalModel};
+use piton_power::thermal::{Cooling, ThermalModel, ThermalStep};
 use piton_power::{Calibration, ChipCorner, TechModel};
 use piton_sim::machine::Machine;
 use serde::{Deserialize, Serialize};
@@ -72,6 +74,70 @@ pub struct WorkloadRun {
     pub cycles: u64,
     /// Whether all threads halted before the cycle limit.
     pub completed: bool,
+}
+
+/// One control step of a governed run: the closed loop's state after
+/// the governor's decision took effect.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GovernedSample {
+    /// Wall time at the end of the step (s).
+    pub time_s: f64,
+    /// Clock the governor holds after this step.
+    pub freq: Hertz,
+    /// Rail setpoint after this step.
+    pub vdd: Volts,
+    /// True chip power (VDD + VCS) of the step's chunk.
+    pub power: Watts,
+    /// Junction temperature after the thermal step (°C).
+    pub junction_c: f64,
+    /// Package surface temperature after the thermal step (°C) — what
+    /// the FLIR camera in Figure 18 images.
+    pub surface_c: f64,
+    /// Whether the governor was limited by temperature this step.
+    pub thermally_limited: bool,
+}
+
+/// Result of driving the machine under a closed-loop governor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GovernedRun {
+    /// Per-control-step trajectory.
+    pub samples: Vec<GovernedSample>,
+    /// Operating-point changes over the run.
+    pub transitions: u64,
+    /// Steps decided at or above the thermal limit.
+    pub throttled_steps: u64,
+    /// Chip energy (VDD + VCS) integrated over the run.
+    pub energy: Joules,
+    /// Cycles executed.
+    pub cycles: u64,
+    /// Whether all threads halted before the step budget ran out.
+    pub completed: bool,
+}
+
+impl GovernedRun {
+    /// Mean of the held frequencies over the run.
+    #[must_use]
+    pub fn mean_frequency(&self) -> Hertz {
+        if self.samples.is_empty() {
+            return Hertz(0.0);
+        }
+        Hertz(self.samples.iter().map(|s| s.freq.0).sum::<f64>() / self.samples.len() as f64)
+    }
+
+    /// Hottest junction temperature seen.
+    #[must_use]
+    pub fn peak_junction_c(&self) -> f64 {
+        self.samples
+            .iter()
+            .map(|s| s.junction_c)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Frequency held at the end of the run (Hz), if any step ran.
+    #[must_use]
+    pub fn final_frequency(&self) -> Option<Hertz> {
+        self.samples.last().map(|s| s.freq)
+    }
 }
 
 /// The full experimental setup of Figure 3.
@@ -441,6 +507,114 @@ impl PitonSystem {
             completed: !self.machine.any_running(),
         }
     }
+
+    /// Drives the loaded workload under a closed-loop DVFS governor for
+    /// up to `steps` fixed-timestep control steps (or until every
+    /// thread halts): per step, simulate one chunk at the held
+    /// operating point, advance the thermal model, integrate energy,
+    /// then let the governor pick the next operating point from the
+    /// junction temperature and the chunk's activity window.
+    ///
+    /// `dt` selects the step's thermal timestep: `Some(dt)` dilates
+    /// time exactly like [`Self::measure`] (each chunk stands in for a
+    /// longer real interval — use for thermal studies), `None` uses the
+    /// chunk's real duration at the held clock (use for
+    /// energy-to-completion runs, where elapsed time is the point).
+    ///
+    /// An attached fault plan's brownout window sags the rails exactly
+    /// as in [`Self::try_measure`], and the sag also lowers the
+    /// capability curve the governor sees. Fused-off cores never
+    /// execute, so they contribute no activity to the power fed into
+    /// the thermal model.
+    pub fn run_governed(
+        &mut self,
+        governor: &mut Governor,
+        steps: usize,
+        dt: Option<Seconds>,
+    ) -> GovernedRun {
+        let stats0 = governor.stats();
+        self.set_vdd_tracked(governor.vdd());
+        self.set_frequency(governor.frequency());
+        let stepper = dt.map(|d| ThermalStep::new(d.0));
+        let brownout = self.fault.as_ref().and_then(|p| p.brownout);
+        let start_cycle = self.machine.now();
+        let mut energy = Joules(0.0);
+        let mut time_s = 0.0;
+        let mut samples = Vec::with_capacity(steps);
+        for i in 0..steps {
+            if !self.machine.any_running() {
+                break;
+            }
+            let sag = brownout.filter(|b| b.covers(i)).map_or(1.0, |b| b.factor);
+            let before = self.machine.counters().clone();
+            self.machine.run(self.chunk_cycles);
+            let delta = self.machine.counters().delta_since(&before);
+            if delta.cycles == 0 {
+                break;
+            }
+            let mut op = self.operating_point();
+            op.vdd = Volts(op.vdd.0 * sag);
+            op.vcs = Volts(op.vcs.0 * sag);
+            let p = self.model.power(&delta, op);
+            // The governor loop heats the die with the core-rail total,
+            // the same power the V/F solver's boot-equilibrium oracle
+            // and the Figure 17/18 scheduling studies integrate — so a
+            // closed-loop run is directly comparable to both.
+            let step_dt = match stepper {
+                Some(s) => {
+                    s.advance(&mut self.thermal, p.total());
+                    s.dt()
+                }
+                None => {
+                    let d = self.freq.period() * delta.cycles as f64;
+                    self.thermal.step(p.total(), d);
+                    d
+                }
+            };
+            energy += p.total() * step_dt;
+            time_s += step_dt.0;
+            let t_j = self.thermal.junction_c();
+            let choice = governor.step_sagged(t_j, &delta, sag);
+            let khz = (choice.freq.0 / 1_000.0).round() as u64;
+            if choice.freq != self.freq || choice.vdd != self.rails.vdd.setpoint() {
+                self.set_vdd_tracked(choice.vdd);
+                self.set_frequency(choice.freq);
+                if trace::active() {
+                    trace::emit(trace::TraceEvent::Governor {
+                        cycle: self.machine.now(),
+                        khz,
+                        millicelsius: (t_j * 1_000.0).round() as i64,
+                        policy: governor.policy().label().to_owned(),
+                    });
+                }
+                metrics::counter_add("governor.transitions", 1);
+            }
+            self.machine.set_governed_khz(Some(khz));
+            metrics::counter_add("governor.steps", 1);
+            if choice.thermally_limited {
+                metrics::counter_add("governor.throttled_steps", 1);
+            }
+            metrics::histogram_observe("governor.freq_mhz", khz / 1_000);
+            samples.push(GovernedSample {
+                time_s,
+                freq: choice.freq,
+                vdd: choice.vdd,
+                power: p.total(),
+                junction_c: self.thermal.junction_c(),
+                surface_c: self.thermal.surface_c(),
+                thermally_limited: choice.thermally_limited,
+            });
+        }
+        let stats = governor.stats();
+        GovernedRun {
+            samples,
+            transitions: stats.transitions - stats0.transitions,
+            throttled_steps: stats.throttled_steps - stats0.throttled_steps,
+            energy,
+            cycles: self.machine.now() - start_cycle,
+            completed: !self.machine.any_running(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -647,6 +821,66 @@ mod tests {
             sys.machine().disabled_cores(),
             mask.count_ones() as usize,
             "fused-off cores must survive a power cycle"
+        );
+    }
+
+    #[test]
+    fn governed_run_completes_and_tracks_the_governor() {
+        use piton_power::governor::{Governor, GovernorConfig};
+        let mut sys = PitonSystem::reference_chip_2();
+        sys.set_chunk_cycles(1_000);
+        let p = Program::from_instructions(vec![
+            Instruction::movi(Reg::new(1), 400),
+            Instruction::movi(Reg::new(2), 1),
+            Instruction::alu(Opcode::Sub, Reg::new(1), Reg::new(1), Reg::new(2)),
+            Instruction::branch(Opcode::Bne, Reg::new(1), Reg::G0, 2),
+            Instruction::halt(),
+        ]);
+        sys.machine_mut().load_thread(TileId::new(0), 0, p);
+        let solver = piton_power::vf::VfSolver::new(sys.power_model().clone(), 20.0);
+        let mut gov = Governor::new(
+            GovernorConfig::RaceToHalt,
+            solver,
+            Volts(1.0),
+            Hertz::from_mhz(500.05),
+        );
+        let run = sys.run_governed(&mut gov, 64, None);
+        assert!(run.completed, "finite workload must halt");
+        assert!(run.energy.0 > 0.0);
+        assert!(!run.samples.is_empty());
+        // The system's clock must end where the governor left it.
+        assert_eq!(sys.frequency(), gov.frequency());
+        assert_eq!(
+            sys.machine().governed_khz(),
+            Some((gov.frequency().0 / 1_000.0).round() as u64)
+        );
+    }
+
+    #[test]
+    fn governed_run_throttles_a_preheated_die() {
+        use piton_power::governor::{Governor, GovernorConfig};
+        use piton_power::vf::T_JUNCTION_LIMIT_C;
+        let mut sys = PitonSystem::reference_chip_1();
+        sys.set_chunk_cycles(1_000);
+        sys.thermal_mut()
+            .settle_to_junction(T_JUNCTION_LIMIT_C + 6.0);
+        let p = Program::from_instructions(vec![
+            Instruction::movi(Reg::new(1), 0x5555),
+            Instruction::alu(Opcode::Add, Reg::new(2), Reg::new(1), Reg::new(1)),
+            Instruction::branch(Opcode::Beq, Reg::G0, Reg::G0, 1),
+        ]);
+        sys.machine_mut().load_on_tiles(25, 0, &p);
+        let solver = piton_power::vf::VfSolver::new(sys.power_model().clone(), 20.0);
+        let start = Hertz::from_mhz(500.05);
+        let mut gov = Governor::new(GovernorConfig::ThrottleOnBoot, solver, Volts(1.0), start);
+        // Time-dilated steps: hold the die hot long enough to force
+        // several downward walks before the RC model cools it.
+        let run = sys.run_governed(&mut gov, 8, Some(Seconds(0.05)));
+        assert!(run.throttled_steps > 0, "preheated die must throttle");
+        assert!(
+            sys.frequency().0 < start.0,
+            "clock must come down: {}",
+            sys.frequency()
         );
     }
 

@@ -14,6 +14,7 @@
 //! | [`specint`] | Tables VIII & IX + Figure 16 — SPECint study |
 //! | [`mem_latency`] | Figure 15 — memory latency breakdown |
 //! | [`thermal`] | Figures 17 & 18 — thermal characterization |
+//! | [`governor`] | Figures 9 & 18, closed-loop — DVFS/thermal governor |
 //!
 //! Every experiment takes a [`Fidelity`] so tests can run scaled-down
 //! versions of the same code path the full harness uses. Beyond the
@@ -25,6 +26,7 @@ pub mod ablations;
 pub mod area;
 pub mod core_scaling;
 pub mod epi;
+pub mod governor;
 pub mod mem_latency;
 pub mod memory_energy;
 pub mod mt_vs_mc;
@@ -36,6 +38,7 @@ pub mod vf_sweep;
 pub mod yield_stats;
 
 use piton_board::fault::FaultToken;
+use piton_power::governor::GovernorConfig;
 use serde::{Deserialize, Serialize};
 
 /// Measurement effort knob: how many monitor samples back each reported
@@ -58,6 +61,11 @@ pub struct Fidelity {
     /// [`piton_board::fault`]). `None` runs the historical fault-free
     /// path, byte-identical to builds before fault injection existed.
     pub fault: Option<FaultToken>,
+    /// Closed-loop DVFS governor policy. [`GovernorConfig::Off`] (the
+    /// default) keeps every experiment open-loop and byte-identical to
+    /// builds before the governor existed; any other policy enables the
+    /// `governor` experiment family's closed-loop sections.
+    pub governor: GovernorConfig,
 }
 
 impl Fidelity {
@@ -70,6 +78,7 @@ impl Fidelity {
             warmup_cycles: 300_000,
             jobs: 1,
             fault: None,
+            governor: GovernorConfig::Off,
         }
     }
 
@@ -82,6 +91,7 @@ impl Fidelity {
             warmup_cycles: 30_000,
             jobs: 1,
             fault: None,
+            governor: GovernorConfig::Off,
         }
     }
 
@@ -97,6 +107,13 @@ impl Fidelity {
     #[must_use]
     pub fn with_fault(mut self, token: FaultToken) -> Self {
         self.fault = Some(token);
+        self
+    }
+
+    /// Same fidelity with a closed-loop DVFS governor policy.
+    #[must_use]
+    pub fn with_governor(mut self, governor: GovernorConfig) -> Self {
+        self.governor = governor;
         self
     }
 }

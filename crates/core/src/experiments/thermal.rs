@@ -13,9 +13,9 @@
 //!   temperature are logged over time, exposing the hysteresis loop and
 //!   the lower average temperature of the balanced schedule.
 
-use piton_arch::units::{Hertz, Seconds, Volts, Watts};
+use piton_arch::units::{Hertz, Volts, Watts};
 use piton_board::system::PitonSystem;
-use piton_power::thermal::{Cooling, ThermalModel};
+use piton_power::thermal::{Cooling, ThermalModel, ThermalStep};
 use piton_workloads::micro::{load_microbenchmark, Microbenchmark, RunLength, ThreadsPerCore};
 use piton_workloads::thermal_app::{load_two_phase, Schedule};
 use serde::{Deserialize, Serialize};
@@ -219,6 +219,9 @@ pub fn run_scheduling(samples: usize, dt_seconds: f64, fidelity: Fidelity) -> Sc
             load_two_phase(sys.machine_mut(), schedule, phase_iters);
             sys.warm_up(fidelity.warmup_cycles / 4);
 
+            // The same fixed-timestep integrator the governor loop and
+            // the thermal-camera example use — one RC code path.
+            let stepper = ThermalStep::new(dt_seconds);
             let mut out = Vec::with_capacity(samples);
             for k in 0..samples {
                 let before = sys.machine().counters().clone();
@@ -228,7 +231,7 @@ pub fn run_scheduling(samples: usize, dt_seconds: f64, fidelity: Fidelity) -> Sc
                     .power_model()
                     .power(&delta, sys.operating_point())
                     .total();
-                sys.thermal_mut().step(p, Seconds(dt_seconds));
+                stepper.advance(sys.thermal_mut(), p);
                 out.push(SchedulingSample {
                     time_s: k as f64 * dt_seconds,
                     power: p,

@@ -30,3 +30,4 @@ pub mod report;
 pub mod runner;
 
 pub use experiments::Fidelity;
+pub use piton_power::governor::GovernorConfig;

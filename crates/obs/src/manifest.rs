@@ -9,6 +9,7 @@
 //!   "fidelity": "quick" | "full",
 //!   "jobs": <usize>,
 //!   "fault_plan": null | "<spec string>",
+//!   "governor": "<policy label>",        // only present on governed runs
 //!   "total_wall_s": <f64>,
 //!   "sections": [
 //!     { "title": "...", "wall_s": f, "busy_s": f, "sweeps": n, "points": n }
@@ -52,6 +53,10 @@ pub struct RunManifest {
     pub fidelity: String,
     pub jobs: usize,
     pub fault_plan: Option<String>,
+    /// DVFS governor policy label, when a governor drove the run. The
+    /// field is *omitted* (not null) on ungoverned runs so historical
+    /// manifests stay byte-identical.
+    pub governor: Option<String>,
     pub total_wall_s: f64,
     pub sections: Vec<SectionRecord>,
     pub holes: Vec<HoleRecord>,
@@ -90,7 +95,7 @@ impl RunManifest {
                 })
                 .collect(),
         );
-        let doc = ObjectBuilder::new()
+        let mut builder = ObjectBuilder::new()
             .field("schema", Value::Str(MANIFEST_SCHEMA.to_owned()))
             .field("fidelity", Value::Str(self.fidelity.clone()))
             .field("jobs", Value::Int(self.jobs as i128))
@@ -99,7 +104,11 @@ impl RunManifest {
                 self.fault_plan
                     .as_ref()
                     .map_or(Value::Null, |p| Value::Str(p.clone())),
-            )
+            );
+        if let Some(g) = &self.governor {
+            builder = builder.field("governor", Value::Str(g.clone()));
+        }
+        let doc = builder
             .field("total_wall_s", Value::Float(self.total_wall_s))
             .field("sections", sections)
             .field("holes", holes)
@@ -148,6 +157,11 @@ impl RunManifest {
                 None | Some(Value::Null) => None,
                 Some(Value::Str(s)) => Some(s.clone()),
                 Some(_) => return Err("'fault_plan' must be null or a string".to_owned()),
+            },
+            governor: match v.get("governor") {
+                None | Some(Value::Null) => None,
+                Some(Value::Str(s)) => Some(s.clone()),
+                Some(_) => return Err("'governor' must be a string".to_owned()),
             },
             total_wall_s: float(&v, "total_wall_s")?,
             ..RunManifest::default()
@@ -224,6 +238,7 @@ mod tests {
             fidelity: "quick".to_owned(),
             jobs: 4,
             fault_plan: Some("seed=7,drop=0.25,kill=epi:3".to_owned()),
+            governor: None,
             total_wall_s: 12.25,
             sections: vec![SectionRecord {
                 title: "Figure 11: EPI".to_owned(),
@@ -255,6 +270,22 @@ mod tests {
         let doc = sample().to_json().replace("piton-run-manifest/v1", "v0");
         let err = RunManifest::from_json(&doc).unwrap_err();
         assert!(err.contains("schema mismatch"), "{err}");
+    }
+
+    #[test]
+    fn governor_field_is_omitted_when_absent_and_kept_when_present() {
+        let off = sample();
+        assert!(
+            !off.to_json().contains("governor"),
+            "ungoverned manifests must not mention the governor"
+        );
+        let on = RunManifest {
+            governor: Some("throttle-on-boot".to_owned()),
+            ..sample()
+        };
+        let doc = on.to_json();
+        assert!(doc.contains("\"governor\":\"throttle-on-boot\""), "{doc}");
+        assert_eq!(RunManifest::from_json(&doc).unwrap(), on);
     }
 
     #[test]

@@ -38,8 +38,10 @@ pub const SUB_NOC: u32 = 1 << 2;
 pub const SUB_ADC: u32 = 1 << 3;
 /// Cycle-engine mode-switch events.
 pub const SUB_ENGINE: u32 = 1 << 4;
+/// DVFS governor operating-point changes.
+pub const SUB_GOVERNOR: u32 = 1 << 5;
 /// All subsystems.
-pub const SUB_ALL: u32 = SUB_RETIRE | SUB_CACHE | SUB_NOC | SUB_ADC | SUB_ENGINE;
+pub const SUB_ALL: u32 = SUB_RETIRE | SUB_CACHE | SUB_NOC | SUB_ADC | SUB_ENGINE | SUB_GOVERNOR;
 
 /// Which cache level an event concerns.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -182,6 +184,15 @@ pub enum TraceEvent {
     },
     /// The cycle engine switched regime.
     Engine { cycle: u64, mode: EngineMode },
+    /// The DVFS governor changed operating point. Frequency is kept in
+    /// integer kilohertz and the junction temperature in integer
+    /// millidegrees Celsius so the event round-trips exactly.
+    Governor {
+        cycle: u64,
+        khz: u64,
+        millicelsius: i64,
+        policy: String,
+    },
 }
 
 impl TraceEvent {
@@ -194,6 +205,7 @@ impl TraceEvent {
             TraceEvent::NocHop { .. } => SUB_NOC,
             TraceEvent::Adc { .. } => SUB_ADC,
             TraceEvent::Engine { .. } => SUB_ENGINE,
+            TraceEvent::Governor { .. } => SUB_GOVERNOR,
         }
     }
 
@@ -204,7 +216,8 @@ impl TraceEvent {
             TraceEvent::Retire { cycle, .. }
             | TraceEvent::Cache { cycle, .. }
             | TraceEvent::NocHop { cycle, .. }
-            | TraceEvent::Engine { cycle, .. } => *cycle,
+            | TraceEvent::Engine { cycle, .. }
+            | TraceEvent::Governor { cycle, .. } => *cycle,
             TraceEvent::Adc { sample, .. } => *sample,
         }
     }
@@ -218,7 +231,7 @@ impl TraceEvent {
             }
             TraceEvent::NocHop { from, .. } => Some(u64::from(*from)),
             TraceEvent::Adc { channel, .. } => Some(*channel),
-            TraceEvent::Engine { .. } => None,
+            TraceEvent::Engine { .. } | TraceEvent::Governor { .. } => None,
         }
     }
 
@@ -282,6 +295,18 @@ impl TraceEvent {
                 .field("e", Value::Str("engine".to_owned()))
                 .field("cycle", Value::Int(i128::from(*cycle)))
                 .field("mode", Value::Str(mode.name().to_owned()))
+                .build(),
+            TraceEvent::Governor {
+                cycle,
+                khz,
+                millicelsius,
+                policy,
+            } => ObjectBuilder::new()
+                .field("e", Value::Str("governor".to_owned()))
+                .field("cycle", Value::Int(i128::from(*cycle)))
+                .field("khz", Value::Int(i128::from(*khz)))
+                .field("mc", Value::Int(i128::from(*millicelsius)))
+                .field("policy", Value::Str(policy.clone()))
                 .build(),
         };
         v.render()
@@ -349,6 +374,16 @@ impl TraceEvent {
                 mode: EngineMode::parse(text("mode")?)
                     .ok_or_else(|| format!("unknown engine mode '{}'", text("mode").unwrap()))?,
             }),
+            "governor" => Ok(TraceEvent::Governor {
+                cycle: int("cycle")?,
+                khz: int("khz")?,
+                millicelsius: v
+                    .get("mc")
+                    .and_then(Value::as_i128)
+                    .and_then(|x| i64::try_from(x).ok())
+                    .ok_or("missing integer field 'mc' in governor event")?,
+                policy: text("policy")?.to_owned(),
+            }),
             other => Err(format!("unknown event kind '{other}'")),
         }
     }
@@ -401,6 +436,17 @@ impl fmt::Display for TraceEvent {
             TraceEvent::Engine { cycle, mode } => {
                 write!(f, "cycle {cycle:>8}  engine -> {}", mode.name())
             }
+            TraceEvent::Governor {
+                cycle,
+                khz,
+                millicelsius,
+                policy,
+            } => write!(
+                f,
+                "cycle {cycle:>8}  governor {policy} -> {:.2} MHz @ {:.1} C",
+                *khz as f64 / 1_000.0,
+                *millicelsius as f64 / 1_000.0
+            ),
         }
     }
 }
@@ -438,7 +484,7 @@ pub fn decode_jsonl(doc: &str) -> Result<Vec<TraceEvent>, String> {
 ///
 /// ```text
 /// SPEC  := PART {"," PART}
-/// PART  := "all" | "retire" | "cache" | "noc" | "adc" | "engine"   subsystem enables
+/// PART  := "all" | "retire" | "cache" | "noc" | "adc" | "engine" | "governor"   subsystem enables
 ///        | "out=PATH"       JSONL sink path   (default piton-trace.jsonl)
 ///        | "cap=N"          per-thread ring capacity (default 65536)
 ///        | "tile=N"         keep only events for tile/entity N
@@ -488,6 +534,7 @@ impl TraceSpec {
                 "noc" => out.mask |= SUB_NOC,
                 "adc" => out.mask |= SUB_ADC,
                 "engine" => out.mask |= SUB_ENGINE,
+                "governor" => out.mask |= SUB_GOVERNOR,
                 _ => {
                     let (key, value) = part
                         .split_once('=')

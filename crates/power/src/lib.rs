@@ -34,13 +34,15 @@
 #![warn(missing_docs)]
 
 pub mod calibration;
+pub mod governor;
 pub mod model;
 pub mod tech;
 pub mod thermal;
 pub mod vf;
 
 pub use calibration::Calibration;
+pub use governor::{Governor, GovernorConfig, GovernorStats, OperatingChoice};
 pub use model::{ChipCorner, OperatingPoint, PowerModel, RailPower};
 pub use tech::TechModel;
-pub use thermal::{Cooling, ThermalModel};
+pub use thermal::{Cooling, ThermalModel, ThermalStep};
 pub use vf::{VfPoint, VfSolver};

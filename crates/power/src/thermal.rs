@@ -217,6 +217,55 @@ impl ThermalModel {
     }
 }
 
+/// Fixed-timestep integrator over a [`ThermalModel`] — the single
+/// shared way the thermal-camera example, the Figure 17/18 experiments
+/// and the closed-loop governor advance the RC model, so every consumer
+/// integrates the exact same transient (no hand-rolled Euler steps to
+/// drift apart).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalStep {
+    dt: Seconds,
+}
+
+impl ThermalStep {
+    /// A stepper with timestep `dt_seconds`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the timestep is not strictly positive.
+    #[must_use]
+    pub fn new(dt_seconds: f64) -> Self {
+        assert!(
+            dt_seconds > 0.0,
+            "thermal timestep must be positive, got {dt_seconds}"
+        );
+        Self {
+            dt: Seconds(dt_seconds),
+        }
+    }
+
+    /// The fixed timestep.
+    #[must_use]
+    pub fn dt(&self) -> Seconds {
+        self.dt
+    }
+
+    /// Advances `model` by one timestep with dissipated power `p`,
+    /// returning the resulting `(junction_c, surface_c)`.
+    pub fn advance(&self, model: &mut ThermalModel, p: Watts) -> (f64, f64) {
+        model.step(p, self.dt);
+        (model.junction_c(), model.surface_c())
+    }
+
+    /// Integrates a whole power trace, returning the `(junction_c,
+    /// surface_c)` trajectory (one entry per input power, after that
+    /// step). The thermal-camera example plots exactly this.
+    #[must_use]
+    pub fn trajectory(&self, model: &mut ThermalModel, powers: &[Watts]) -> Vec<(f64, f64)> {
+        powers.iter().map(|&p| self.advance(model, p)).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -290,6 +339,30 @@ mod tests {
         // Strongly temperature-dependent power: runaway.
         let (tj, _) = t.equilibrium(|tc| Watts(1.0 * ((tc - 20.0) / 30.0).exp()), 95.0);
         assert_eq!(tj, 95.0);
+    }
+
+    #[test]
+    fn thermal_step_matches_direct_stepping() {
+        // The shared integrator must be bit-identical to calling
+        // `ThermalModel::step` directly — it is the same integration,
+        // packaged once.
+        let powers: Vec<Watts> = (0..40)
+            .map(|i| Watts(0.5 + 0.4 * f64::from(i % 7)))
+            .collect();
+        let mut direct = ThermalModel::new(Cooling::BarePackageFan { effectiveness: 0.5 }, 20.0);
+        let mut stepped = direct.clone();
+        let traj = ThermalStep::new(1.0).trajectory(&mut stepped, &powers);
+        for (k, &p) in powers.iter().enumerate() {
+            direct.step(p, Seconds(1.0));
+            assert_eq!(traj[k], (direct.junction_c(), direct.surface_c()));
+        }
+        assert_eq!(stepped, direct);
+    }
+
+    #[test]
+    #[should_panic(expected = "timestep must be positive")]
+    fn thermal_step_rejects_zero_dt() {
+        let _ = ThermalStep::new(0.0);
     }
 
     #[test]

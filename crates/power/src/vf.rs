@@ -79,15 +79,46 @@ impl PllLadder {
     /// Panics if `f` is below the bottom of the ladder.
     #[must_use]
     pub fn quantize(&self, f: Hertz) -> (Hertz, Hertz) {
+        let q = self.frequency(self.index_of(f));
+        (q, Hertz(q.0 * self.ratio))
+    }
+
+    /// The ladder frequency at integer step `index` (step 0 is the
+    /// base). The governor tracks its operating point as a ladder index
+    /// so state transitions are exact integer arithmetic.
+    #[must_use]
+    pub fn frequency(&self, index: u32) -> Hertz {
+        Hertz(self.base.0 * self.ratio.powf(f64::from(index)))
+    }
+
+    /// Largest step index whose frequency does not exceed `f`.
+    ///
+    /// The closed-form floor is corrected against [`Self::frequency`] at
+    /// the boundaries, so this agrees exactly with a linear scan of the
+    /// ladder (the governor's reference controller does exactly that
+    /// scan).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is below the bottom of the ladder.
+    #[must_use]
+    pub fn index_of(&self, f: Hertz) -> u32 {
         assert!(
             f.0 >= self.base.0,
             "frequency {} below PLL ladder base {}",
             f,
             self.base
         );
-        let n = ((f.0 / self.base.0).ln() / self.ratio.ln()).floor();
-        let q = self.base.0 * self.ratio.powf(n);
-        (Hertz(q), Hertz(q * self.ratio))
+        let mut n = ((f.0 / self.base.0).ln() / self.ratio.ln())
+            .floor()
+            .max(0.0) as u32;
+        while self.frequency(n + 1).0 <= f.0 {
+            n += 1;
+        }
+        while n > 0 && self.frequency(n).0 > f.0 {
+            n -= 1;
+        }
+        n
     }
 }
 
@@ -140,6 +171,37 @@ impl VfSolver {
         dynamic * self.boot_activity_factor + self.model.static_power(op).total()
     }
 
+    /// The power model of the die being solved.
+    #[must_use]
+    pub fn model(&self) -> &PowerModel {
+        &self.model
+    }
+
+    /// The thermal model (heat-sink cooling at the solver's ambient)
+    /// used for equilibrium solves.
+    #[must_use]
+    pub fn thermal(&self) -> &ThermalModel {
+        &self.thermal
+    }
+
+    /// The PLL frequency ladder.
+    #[must_use]
+    pub fn ladder(&self) -> PllLadder {
+        self.ladder
+    }
+
+    /// The V/F capability curve: analog (pre-quantization) maximum
+    /// frequency at pin voltage `vdd` and junction temperature `t_j`,
+    /// accounting for IR drop and the thermal derate.
+    ///
+    /// Monotone nonincreasing in `t_j`: a hotter die both switches
+    /// slower (derate) and leaks more (deeper IR drop), so the closed-
+    /// loop governor can never be *raised* by a temperature increase.
+    #[must_use]
+    pub fn capability(&self, vdd: Volts, t_j: f64) -> Hertz {
+        self.analog_fmax(vdd, t_j)
+    }
+
     /// Analog (pre-quantization) maximum frequency at pin voltage `vdd`
     /// and junction temperature `t_j`, accounting for IR drop.
     fn analog_fmax(&self, vdd: Volts, t_j: f64) -> Hertz {
@@ -166,8 +228,11 @@ impl VfSolver {
         f
     }
 
-    /// Junction temperature at thermal equilibrium for `(vdd, f)`.
-    fn equilibrium_junction(&self, vdd: Volts, f: Hertz) -> f64 {
+    /// Junction temperature at thermal equilibrium for `(vdd, f)` under
+    /// the boot workload — the feasibility oracle the governor's
+    /// energy-frontier policy consults before committing to a point.
+    #[must_use]
+    pub fn equilibrium_junction(&self, vdd: Volts, f: Hertz) -> f64 {
         let (t_j, _) = self
             .thermal
             .equilibrium(|t| self.boot_power(vdd, f, t), 120.0);

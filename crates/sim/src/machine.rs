@@ -104,6 +104,10 @@ pub struct HangReport {
     pub pending_stores: u64,
     /// Fused-off cores (a degraded chip hangs differently).
     pub disabled_cores: usize,
+    /// Clock the DVFS governor held when the watchdog fired (kHz), if a
+    /// governor was driving the machine — a hang at a throttled
+    /// frequency reads very differently from one at full speed.
+    pub governed_khz: Option<u64>,
 }
 
 impl std::fmt::Display for HangReport {
@@ -117,6 +121,9 @@ impl std::fmt::Display for HangReport {
             "{kind} at cycle {} ({} retired, window {}, {} store(s) pending, {} core(s) disabled)",
             self.at_cycle, self.retired, self.window, self.pending_stores, self.disabled_cores
         )?;
+        if let Some(khz) = self.governed_khz {
+            write!(f, "; governor held {:.2} MHz", khz as f64 / 1_000.0)?;
+        }
         for s in &self.stuck {
             let wait = match s.wait {
                 WaitKind::Execute => "execute",
@@ -291,6 +298,11 @@ pub struct Machine {
     /// Test-only scheduler fault: delays every ready-calendar wakeup by
     /// this many cycles. Zero in production.
     calendar_skew: u64,
+    /// Clock the DVFS governor currently holds (kHz), when one is
+    /// driving this machine. Set by the board layer's governed run
+    /// loop; surfaced in [`HangReport`] so a watchdog firing at a
+    /// throttled frequency is diagnosable.
+    governed_khz: Option<u64>,
 }
 
 impl Machine {
@@ -318,7 +330,20 @@ impl Machine {
             emetrics: EngineMetrics::default(),
             published: PublishedMarks::default(),
             calendar_skew: 0,
+            governed_khz: None,
         }
+    }
+
+    /// Records the clock a DVFS governor is holding (kHz), or `None`
+    /// when ungoverned. Purely diagnostic — it does not alter timing.
+    pub fn set_governed_khz(&mut self, khz: Option<u64>) {
+        self.governed_khz = khz;
+    }
+
+    /// The clock the governor currently holds, if any (kHz).
+    #[must_use]
+    pub fn governed_khz(&self) -> Option<u64> {
+        self.governed_khz
     }
 
     /// The chip configuration.
@@ -943,6 +968,7 @@ impl Machine {
             stuck,
             pending_stores: self.cores.iter().map(|c| c.pending_stores() as u64).sum(),
             disabled_cores: self.disabled_cores(),
+            governed_khz: self.governed_khz,
         }
     }
 

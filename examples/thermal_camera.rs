@@ -8,8 +8,22 @@
 //!
 //! Run with: `cargo run --release --example thermal_camera`
 
+use piton::arch::units::Watts;
 use piton::characterization::experiments::{thermal, Fidelity};
+use piton::power::thermal::{Cooling, ThermalModel, ThermalStep};
 use piton::workloads::thermal_app::Schedule;
+
+/// The cooldown watched at the end of the demo: the §IV-J rig settled
+/// at 80 °C junction, then unpowered — integrated with the same
+/// fixed-timestep stepper the experiments and the governor loop use.
+/// The regression test in `tests/model_properties.rs` pins this
+/// trajectory against a raw RC integration, so the example can never
+/// drift onto a private thermal path.
+pub fn cooldown_trajectory() -> Vec<(f64, f64)> {
+    let mut model = ThermalModel::new(Cooling::BarePackageFan { effectiveness: 0.5 }, 20.0);
+    model.settle_to_junction(80.0);
+    ThermalStep::new(5.0).trajectory(&mut model, &[Watts(0.0); 12])
+}
 
 fn main() {
     println!("Running the two-phase application on 50 threads, logging 1 Hz...\n");
@@ -30,4 +44,16 @@ fn main() {
     }
     println!("\n§IV-J: a balanced (interleaved) schedule both caps the power swing");
     println!("and lowers the average package temperature.");
+
+    println!("\nCooldown after the run (fan on, chip unpowered, 5 s steps):");
+    for (k, &(junction_c, surface_c)) in cooldown_trajectory().iter().enumerate() {
+        let bars = ((surface_c - 20.0) * 1.5).max(0.0) as usize;
+        println!(
+            "  t={:3}s  junction {:5.1} °C  surface {:5.1} °C  {}",
+            (k + 1) * 5,
+            junction_c,
+            surface_c,
+            "#".repeat(bars.min(70))
+        );
+    }
 }

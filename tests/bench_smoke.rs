@@ -67,6 +67,7 @@ fn csv_and_render_agree_on_row_counts() {
         warmup_cycles: 4_000,
         jobs: 2,
         fault: None,
+        governor: piton::power::GovernorConfig::Off,
     });
     let csv = r.to_csv();
     // header + 4 patterns x 9 hop points

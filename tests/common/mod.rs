@@ -28,6 +28,22 @@ pub mod pinned {
     pub const THERMAL_P_MW: f64 = 1_417.627_412_073_999_7;
     /// See [`THERMAL_P_MW`].
     pub const THERMAL_FAN_EFFECTIVENESS: f64 = 0.0;
+    /// `model_properties`: the leakiest corner a hair under the thermal
+    /// knee — the shrunk capability-monotonicity input, where IR drop
+    /// is steepest and a sign slip in the derate flips the curve.
+    pub const VF_MONOTONE_LEAKAGE: f64 = 1.49;
+    /// See [`VF_MONOTONE_LEAKAGE`].
+    pub const VF_MONOTONE_T_J: f64 = 94.99;
+    /// `governor_properties`: junction exactly at the boot limit
+    /// (95.0 °C) with the PLL-ladder-base start frequency — the
+    /// boundary between the hot and hold control branches at the
+    /// saturating bottom rung, where an off-by-one survives any random
+    /// sweep that misses exact equality.
+    pub const GOVERNOR_T_LIMIT: f64 = 95.0;
+    /// See [`GOVERNOR_T_LIMIT`].
+    pub const GOVERNOR_VDD: f64 = 0.8;
+    /// See [`GOVERNOR_T_LIMIT`] (the `PllLadder::piton` base step).
+    pub const GOVERNOR_START_MHZ: f64 = 50.0;
 }
 
 /// Path of a committed golden fixture.

@@ -12,7 +12,7 @@
 //! ```
 
 use piton::characterization::experiments::{
-    core_scaling, epi, mt_vs_mc, noc_energy, specint, yield_stats, Fidelity,
+    core_scaling, epi, governor, mt_vs_mc, noc_energy, specint, yield_stats, Fidelity,
 };
 
 mod common;
@@ -61,5 +61,29 @@ fn figure_14_mt_vs_mc() {
     common::assert_matches_golden(
         "figure14_mt_mc.txt",
         &mt_vs_mc::run_with_threads(&QUICK_THREADS, Fidelity::quick()).render(),
+    );
+}
+
+#[test]
+fn figure_9_closed_loop_throttle_boundary() {
+    common::assert_matches_golden(
+        "figure9_governor_boundary.txt",
+        &governor::run_throttle_boundary(Fidelity::quick()).render(),
+    );
+}
+
+#[test]
+fn figure_18_closed_loop_hysteresis() {
+    common::assert_matches_golden(
+        "figure18_governor_hysteresis.txt",
+        &governor::run_hysteresis(64, 1.0, Fidelity::quick()).render(),
+    );
+}
+
+#[test]
+fn energy_frontier_race() {
+    common::assert_matches_golden(
+        "energy_frontier.txt",
+        &governor::run_energy_frontier(Fidelity::quick()).render(),
     );
 }

@@ -1,0 +1,205 @@
+//! Conformance property tests of the closed-loop DVFS/thermal
+//! governor: the four invariants its module contract promises
+//! (`piton::power::governor`), pinned over randomized die corners,
+//! rails, temperatures and brownout sags.
+//!
+//! 1. **Capability bound** — a chosen frequency never exceeds the V/F
+//!    capability curve at the decision's junction temperature.
+//! 2. **Monotone** — from identical controller state, a hotter die
+//!    never yields a higher frequency (the throttle policies; the
+//!    energy frontier deliberately trades frequency against leakage).
+//! 3. **Fixed point** — constant temperature and load converge to one
+//!    operating point that then never moves.
+//! 4. **Determinism** — bit-identical to the independently-derived
+//!    step-by-step [`Reference`] controller (compiled in like
+//!    `Machine::run_naive`), and to a lockstepped twin of itself.
+//!
+//! Shrunk inputs are pinned in `tests/common` (the vendored proptest
+//! does not replay `*.proptest-regressions`) and replayed as plain
+//! tests at the bottom.
+
+use proptest::prelude::*;
+
+use piton::arch::units::{Hertz, Volts};
+use piton::power::governor::{idle_window, Governor, GovernorConfig, Reference};
+use piton::power::vf::VfSolver;
+use piton::power::{Calibration, ChipCorner, PowerModel, TechModel};
+
+mod common;
+
+const POLICIES: [GovernorConfig; 3] = [
+    GovernorConfig::ThrottleOnBoot,
+    GovernorConfig::RaceToHalt,
+    GovernorConfig::EnergyFrontier,
+];
+
+fn solver(speed: f64, leakage: f64, dynamic: f64) -> VfSolver {
+    VfSolver::new(
+        PowerModel::new(
+            Calibration::piton_hpca18(),
+            TechModel::ibm32soi(),
+            ChipCorner {
+                speed,
+                leakage,
+                dynamic,
+            },
+        ),
+        20.0,
+    )
+}
+
+fn grid_vdd(step: u32) -> Volts {
+    Volts(0.8 + 0.05 * f64::from(step))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Invariant 1: whatever the policy decides, the chosen frequency
+    /// respects the capability curve of the chosen rail at the
+    /// temperature that drove the decision.
+    #[test]
+    fn chosen_frequency_never_exceeds_capability(
+        corner in (0.9f64..1.1, 0.8f64..1.5, 0.9f64..1.15),
+        vdd_step in 0u32..9,
+        start_mhz in 60.0f64..700.0,
+        temps in collection::vec(20.0f64..130.0, 1..20),
+        policy_pick in 0usize..3,
+    ) {
+        let policy = POLICIES[policy_pick];
+        let s = solver(corner.0, corner.1, corner.2);
+        let mut g = Governor::new(policy, s, grid_vdd(vdd_step), Hertz::from_mhz(start_mhz));
+        let w = idle_window(10_000);
+        for &t in &temps {
+            let c = g.step(t, &w);
+            let cap = g.solver().capability(c.vdd, t);
+            prop_assert!(
+                c.freq.0 <= cap.0 + 1e-9,
+                "{policy}: chose {} above capability {} at t={t}",
+                c.freq,
+                cap
+            );
+        }
+    }
+
+    /// Invariant 2: for the thermal-throttle policies, stepping the
+    /// same controller state with a hotter junction never yields a
+    /// higher frequency.
+    #[test]
+    fn hotter_die_never_raises_the_chosen_frequency(
+        corner in (0.9f64..1.1, 0.8f64..1.5, 0.9f64..1.15),
+        vdd_step in 0u32..9,
+        start_mhz in 60.0f64..700.0,
+        t_cool in 20.0f64..130.0,
+        dt in 0.0f64..40.0,
+        policy_pick in 0usize..2,
+    ) {
+        let policy = POLICIES[policy_pick];
+        let s = solver(corner.0, corner.1, corner.2);
+        let vdd = grid_vdd(vdd_step);
+        let f0 = Hertz::from_mhz(start_mhz);
+        let w = idle_window(10_000);
+        let mut cool = Governor::new(policy, s.clone(), vdd, f0);
+        let mut hot = Governor::new(policy, s, vdd, f0);
+        let a = cool.step(t_cool, &w);
+        let b = hot.step(t_cool + dt, &w);
+        prop_assert!(
+            a.freq.0 >= b.freq.0,
+            "{policy}: hotter die got faster: {} at {t_cool} vs {} at {}",
+            a.freq,
+            b.freq,
+            t_cool + dt
+        );
+    }
+
+    /// Invariant 3: under constant junction temperature and a constant
+    /// activity window, the loop reaches an operating point it never
+    /// leaves.
+    #[test]
+    fn constant_conditions_converge_to_a_fixed_point(
+        corner in (0.9f64..1.1, 0.8f64..1.5, 0.9f64..1.15),
+        vdd_step in 0u32..9,
+        start_mhz in 60.0f64..700.0,
+        t in 20.0f64..130.0,
+        policy_pick in 0usize..3,
+    ) {
+        let policy = POLICIES[policy_pick];
+        let s = solver(corner.0, corner.1, corner.2);
+        let mut g = Governor::new(policy, s, grid_vdd(vdd_step), Hertz::from_mhz(start_mhz));
+        let w = idle_window(10_000);
+        // The longest possible transient is one full ladder walk.
+        for _ in 0..200 {
+            g.step(t, &w);
+        }
+        let held = g.step(t, &w);
+        for k in 0..8 {
+            let again = g.step(t, &w);
+            prop_assert_eq!(
+                again,
+                held,
+                "{} left its fixed point at settle step {} (t={})",
+                policy,
+                k,
+                t
+            );
+        }
+    }
+
+    /// Invariant 4: the production controller, a lockstepped twin of
+    /// itself, and the independently-derived reference controller make
+    /// identical decisions on arbitrary temperature/brownout
+    /// trajectories.
+    #[test]
+    fn production_twin_and_reference_controllers_agree(
+        corner in (0.9f64..1.1, 0.8f64..1.5, 0.9f64..1.15),
+        vdd_step in 0u32..9,
+        start_mhz in 60.0f64..700.0,
+        steps in collection::vec((20.0f64..130.0, 0u8..2), 1..24),
+        policy_pick in 0usize..3,
+    ) {
+        let policy = POLICIES[policy_pick];
+        let s = solver(corner.0, corner.1, corner.2);
+        let vdd = grid_vdd(vdd_step);
+        let f0 = Hertz::from_mhz(start_mhz);
+        let mut prod = Governor::new(policy, s.clone(), vdd, f0);
+        let mut twin = Governor::new(policy, s.clone(), vdd, f0);
+        let mut refc = Reference::new(policy, s, vdd, f0);
+        let w = idle_window(10_000);
+        for (k, &(t, sag_bit)) in steps.iter().enumerate() {
+            let sag = if sag_bit == 1 { 0.9 } else { 1.0 };
+            let a = prod.step_sagged(t, &w, sag);
+            let b = twin.step_sagged(t, &w, sag);
+            let c = refc.step_sagged(t, &w, sag);
+            prop_assert_eq!(a, b, "{} twin diverged at step {}", policy, k);
+            prop_assert_eq!(a, c, "{} reference diverged at step {} (t={})", policy, k, t);
+        }
+    }
+}
+
+/// Replays the pinned shrink input (see `tests/common`): the junction
+/// exactly at the boot limit with the controller on the ladder's bottom
+/// rung. `t >= limit` must throttle (and saturate at index 0, not
+/// underflow), stay within capability, and agree with the reference —
+/// for every policy.
+#[test]
+fn pinned_limit_boundary_at_the_ladder_base() {
+    let vdd = Volts(common::pinned::GOVERNOR_VDD);
+    let f0 = Hertz::from_mhz(common::pinned::GOVERNOR_START_MHZ);
+    let t = common::pinned::GOVERNOR_T_LIMIT;
+    for policy in POLICIES {
+        let s = solver(1.0, 1.49, 1.0);
+        let mut g = Governor::new(policy, s.clone(), vdd, f0);
+        let mut r = Reference::new(policy, s, vdd, f0);
+        let w = idle_window(10_000);
+        for k in 0..4 {
+            let a = g.step(t, &w);
+            let b = r.step_sagged(t, &w, 1.0);
+            assert_eq!(a, b, "{policy} diverged at pinned step {k}");
+            assert!(
+                a.thermally_limited,
+                "{policy}: at the limit exactly, the step must count as throttled"
+            );
+            assert!(a.freq.0 <= g.solver().capability(a.vdd, t).0 + 1e-9);
+        }
+    }
+}

@@ -218,3 +218,156 @@ fn casx_lock_is_never_starved_across_the_chip() {
     assert!(m.run_until_halted(20_000_000), "lock protocol deadlocked");
     assert_eq!(m.memsys().peek_mem(0xA040), 100, "lost increments");
 }
+
+/// The movi/add/branch spin loop used by the governed-run tests: every
+/// thread retires forever, so only the step budget ends the run.
+fn governed_spin_loop() -> Program {
+    Program::from_instructions(vec![
+        Instruction::movi(Reg::new(1), 0x5555),
+        Instruction::alu(Opcode::Add, Reg::new(2), Reg::new(1), Reg::new(1)),
+        Instruction::branch(Opcode::Beq, Reg::G0, Reg::G0, 1),
+    ])
+}
+
+/// Governor × fault plan: a mid-run brownout sags the rails *and* the
+/// capability curve the governor consults, so `RaceToHalt` must drop
+/// off its pre-sag operating point for exactly the browned-out control
+/// steps and race back up once the supply recovers.
+#[test]
+fn governor_throttles_through_a_brownout_and_recovers() {
+    use piton::arch::units::{Hertz, Seconds, Volts};
+    use piton::board::fault::{Brownout, FaultPlan};
+    use piton::board::system::PitonSystem;
+    use piton::power::governor::{Governor, GovernorConfig};
+    use piton::power::vf::VfSolver;
+
+    let mut sys = PitonSystem::reference_chip_2();
+    sys.set_chunk_cycles(1_000);
+    sys.inject_faults(&FaultPlan {
+        seed: 1,
+        drop_rate: 0.0,
+        stuck_rate: 0.0,
+        glitch_rate: 0.0,
+        // Control steps 2, 3 and 4 see the rails at 85 %.
+        brownout: Some(Brownout {
+            start_sample: 2,
+            samples: 3,
+            factor: 0.85,
+        }),
+        sabotage: vec![],
+    });
+    sys.machine_mut()
+        .load_on_tiles(25, 0, &governed_spin_loop());
+    let solver = VfSolver::new(sys.power_model().clone(), 20.0);
+    let mut gov = Governor::new(
+        GovernorConfig::RaceToHalt,
+        solver,
+        Volts(1.0),
+        Hertz::from_mhz(500.05),
+    );
+    let run = sys.run_governed(&mut gov, 8, Some(Seconds(0.01)));
+    assert_eq!(run.samples.len(), 8, "spin loop must survive all steps");
+    // Sagged steps run at the 0.85 V capability — well below the
+    // healthy-rail choice on either side of the window.
+    assert!(
+        run.samples[2].freq.0 < run.samples[1].freq.0,
+        "brownout onset did not throttle: {} vs {}",
+        run.samples[2].freq,
+        run.samples[1].freq
+    );
+    assert!(
+        run.samples[6].freq.0 > run.samples[4].freq.0,
+        "supply recovery did not restore frequency: {} vs {}",
+        run.samples[6].freq,
+        run.samples[4].freq
+    );
+}
+
+/// Governor × fused silicon: a core fused off via the yield mask never
+/// executes, so it must contribute no activity to the power the
+/// closed loop feeds its thermal model — the 24-core die runs strictly
+/// cooler than the full chip at the same held operating point.
+#[test]
+fn fused_off_core_adds_no_heat_to_the_governed_loop() {
+    use piton::arch::units::{Hertz, Seconds, Volts};
+    use piton::board::system::{GovernedRun, PitonSystem};
+    use piton::power::governor::{Governor, GovernorConfig};
+    use piton::power::vf::VfSolver;
+
+    let governed = |fuse_mask: u32| -> GovernedRun {
+        let mut sys = PitonSystem::reference_chip_2();
+        sys.set_chunk_cycles(5_000);
+        sys.set_core_mask(fuse_mask);
+        sys.machine_mut()
+            .load_on_tiles(25, 0, &governed_spin_loop());
+        let solver = VfSolver::new(sys.power_model().clone(), 20.0);
+        let mut gov = Governor::new(
+            GovernorConfig::ThrottleOnBoot,
+            solver,
+            Volts(1.0),
+            Hertz::from_mhz(500.05),
+        );
+        sys.run_governed(&mut gov, 6, Some(Seconds(1.0)))
+    };
+    let full = governed(0);
+    let fused = governed(1 << 12); // fuse the centre tile
+                                   // Premise: at 1.0 V under the heat sink neither die approaches the
+                                   // boot limit, so both loops hold the boot setpoint throughout and
+                                   // the thermal trajectories differ only through activity.
+    assert_eq!(full.throttled_steps, 0, "full die unexpectedly throttled");
+    assert_eq!(fused.throttled_steps, 0, "fused die unexpectedly throttled");
+    for (k, (a, b)) in fused.samples.iter().zip(full.samples.iter()).enumerate() {
+        assert_eq!(a.freq, b.freq, "operating points diverged at step {k}");
+        assert!(
+            a.power.0 < b.power.0,
+            "step {k}: fused die power {} not below full die {}",
+            a.power,
+            b.power
+        );
+        assert!(
+            a.junction_c < b.junction_c,
+            "step {k}: fused die junction {} °C not below full die {} °C",
+            a.junction_c,
+            b.junction_c
+        );
+    }
+}
+
+/// Governor × watchdog: after a governed run, a firing watchdog names
+/// the clock the governor held — the first question a hang triage asks
+/// is "how fast was the chip actually running?".
+#[test]
+fn watchdog_report_carries_the_governed_clock() {
+    use piton::arch::units::{Hertz, Seconds, Volts};
+    use piton::board::system::PitonSystem;
+    use piton::power::governor::{Governor, GovernorConfig};
+    use piton::power::vf::VfSolver;
+
+    let mut sys = PitonSystem::reference_chip_2();
+    sys.set_chunk_cycles(1_000);
+    sys.machine_mut()
+        .load_on_tiles(25, 0, &governed_spin_loop());
+    let solver = VfSolver::new(sys.power_model().clone(), 20.0);
+    let mut gov = Governor::new(
+        GovernorConfig::RaceToHalt,
+        solver,
+        Volts(1.0),
+        Hertz::from_mhz(500.05),
+    );
+    sys.run_governed(&mut gov, 4, Some(Seconds(0.01)));
+    let report = sys
+        .machine_mut()
+        .run_until_halted_watched(3_000, 10_000)
+        .unwrap_err();
+    let expected_khz = (gov.frequency().0 / 1_000.0).round() as u64;
+    assert_eq!(
+        report.governed_khz,
+        Some(expected_khz),
+        "report must carry the governor's held clock"
+    );
+    let rendered = report.to_string();
+    assert!(
+        rendered.contains("governor held"),
+        "rendered report missing the governed clock: {rendered}"
+    );
+}

@@ -1,12 +1,50 @@
-//! Property tests of the cache, memory and monitor building blocks.
+//! Property tests of the cache, memory and monitor building blocks,
+//! plus the analog models the DVFS governor closes its loop over: the
+//! V/F capability curve and the package RC network.
 
 use proptest::prelude::*;
 
 use piton::arch::config::CacheConfig;
-use piton::arch::units::Watts;
+use piton::arch::units::{Seconds, Volts, Watts};
 use piton::board::monitor::{MeasurementWindow, MonitorChannel};
+use piton::power::thermal::{Cooling, ThermalModel, ThermalStep};
+use piton::power::vf::VfSolver;
+use piton::power::{Calibration, ChipCorner, PowerModel, TechModel};
 use piton::sim::cache::{LineState, SetAssocCache};
 use piton::sim::mem::Memory;
+
+mod common;
+
+fn vf_solver(speed: f64, leakage: f64, dynamic: f64) -> VfSolver {
+    VfSolver::new(
+        PowerModel::new(
+            Calibration::piton_hpca18(),
+            TechModel::ibm32soi(),
+            ChipCorner {
+                speed,
+                leakage,
+                dynamic,
+            },
+        ),
+        20.0,
+    )
+}
+
+/// Asserts the analog capability curve never dips as VDD rises across
+/// the Figure 9 grid at a fixed junction temperature.
+fn assert_capability_monotone_in_vdd(solver: &VfSolver, t_j: f64) {
+    let mut prev = 0.0f64;
+    for i in 0..=8u32 {
+        let vdd = Volts(0.8 + 0.05 * f64::from(i));
+        let f = solver.capability(vdd, t_j).0;
+        assert!(
+            f >= prev - 1e-6,
+            "capability dipped at {:.2} V, t={t_j}: {f} < {prev}",
+            vdd.0
+        );
+        prev = f;
+    }
+}
 
 proptest! {
     /// LRU invariant: after any insertion sequence, the most recently
@@ -89,4 +127,104 @@ proptest! {
         let pooled = (a.mean().unwrap().0 + b.mean().unwrap().0) / 2.0;
         prop_assert!((pooled - all.mean().unwrap().0).abs() < 1e-12);
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// V/F capability is monotone nondecreasing in VDD at any fixed
+    /// junction temperature up to the thermal knee (the boot limit) —
+    /// more voltage never costs analog frequency before heat enters
+    /// the picture.
+    #[test]
+    fn capability_is_monotone_in_vdd_below_the_knee(
+        corner in (0.9f64..1.1, 0.8f64..1.5, 0.9f64..1.15),
+        t_j in 20.0f64..95.0,
+    ) {
+        let s = vf_solver(corner.0, corner.1, corner.2);
+        assert_capability_monotone_in_vdd(&s, t_j);
+    }
+
+    /// RC step response under constant power is monotone rising and
+    /// bounded between ambient and the closed-form steady state — the
+    /// integrator can neither overshoot nor undershoot the network it
+    /// discretizes.
+    #[test]
+    fn rc_step_response_is_bounded_and_monotone(
+        p_mw in 10.0f64..20_000.0,
+        eff in 0.0f64..1.0,
+        dt in 0.05f64..4.0,
+    ) {
+        let p = Watts(p_mw / 1e3);
+        let mut m = ThermalModel::new(Cooling::BarePackageFan { effectiveness: eff }, 20.0);
+        let (steady_j, _) = m.steady_state(p);
+        let stepper = ThermalStep::new(dt);
+        let mut last = m.junction_c();
+        for _ in 0..300 {
+            let (j, s_c) = stepper.advance(&mut m, p);
+            prop_assert!(j >= 20.0 - 1e-9 && s_c >= 20.0 - 1e-9, "fell below ambient");
+            prop_assert!(j <= steady_j + 1e-6, "junction {j} overshot steady state {steady_j}");
+            prop_assert!(j >= last - 1e-9, "step response not monotone: {j} < {last}");
+            last = j;
+        }
+    }
+
+    /// Cooling an unpowered die from a settled hot junction is monotone
+    /// decreasing and never undershoots ambient.
+    #[test]
+    fn cooling_curve_is_monotone_decreasing(
+        t_hot in 30.0f64..120.0,
+        eff in 0.0f64..1.0,
+        dt in 0.05f64..4.0,
+    ) {
+        let mut m = ThermalModel::new(Cooling::BarePackageFan { effectiveness: eff }, 20.0);
+        m.settle_to_junction(t_hot);
+        let stepper = ThermalStep::new(dt);
+        let mut last = m.junction_c();
+        for _ in 0..300 {
+            let (j, _) = stepper.advance(&mut m, Watts(0.0));
+            prop_assert!(j >= 20.0 - 1e-9, "cooled below ambient: {j}");
+            prop_assert!(j <= last + 1e-9, "cooling not monotone: {j} > {last}");
+            last = j;
+        }
+    }
+}
+
+/// Replays the pinned shrink input of the capability-monotonicity
+/// property (see `tests/common`): the leakiest corner a hair under the
+/// knee, where IR drop bites hardest.
+#[test]
+fn capability_monotone_pinned_replay() {
+    let s = vf_solver(1.0, common::pinned::VF_MONOTONE_LEAKAGE, 1.0);
+    assert_capability_monotone_in_vdd(&s, common::pinned::VF_MONOTONE_T_J);
+}
+
+/// The thermal-camera example's cooldown (same constants as
+/// `examples/thermal_camera.rs::cooldown_trajectory`: §IV-J rig settled
+/// at 80 °C, unpowered, twelve 5 s steps) must match a raw
+/// `ThermalModel::step` integration exactly — `ThermalStep` is a
+/// packaging of the crate's RC path, not a second integrator.
+#[test]
+fn thermal_camera_cooldown_matches_a_raw_rc_integration() {
+    let rig = || {
+        let mut m = ThermalModel::new(Cooling::BarePackageFan { effectiveness: 0.5 }, 20.0);
+        m.settle_to_junction(80.0);
+        m
+    };
+    let mut via_stepper = rig();
+    let trajectory = ThermalStep::new(5.0).trajectory(&mut via_stepper, &[Watts(0.0); 12]);
+    assert_eq!(trajectory.len(), 12);
+
+    let mut raw = rig();
+    for (k, &(junction_c, surface_c)) in trajectory.iter().enumerate() {
+        raw.step(Watts(0.0), Seconds(5.0));
+        assert_eq!(
+            (raw.junction_c(), raw.surface_c()),
+            (junction_c, surface_c),
+            "trajectories diverged at step {k}"
+        );
+    }
+    // And it genuinely cools: strictly below the start, above ambient.
+    let (last_j, _) = *trajectory.last().unwrap();
+    assert!((20.0..80.0).contains(&last_j), "final junction {last_j}");
 }

@@ -37,7 +37,8 @@ fn event_from_words(tag: u64, a: u64, b: u64, c: u64) -> TraceEvent {
         CacheKind::Atomic,
     ];
     const MODES: [EngineMode; 3] = [EngineMode::Calendar, EngineMode::Dense, EngineMode::Naive];
-    match tag % 5 {
+    const POLICIES: [&str; 3] = ["throttle-on-boot", "race-to-halt", "energy-frontier"];
+    match tag % 6 {
         0 => TraceEvent::Retire {
             cycle: a,
             tile: (b % 25) as u32,
@@ -64,9 +65,15 @@ fn event_from_words(tag: u64, a: u64, b: u64, c: u64) -> TraceEvent {
             sample: b,
             microwatts: c as i64,
         },
-        _ => TraceEvent::Engine {
+        4 => TraceEvent::Engine {
             cycle: a,
             mode: MODES[b as usize % MODES.len()],
+        },
+        _ => TraceEvent::Governor {
+            cycle: a,
+            khz: b,
+            millicelsius: c as i64,
+            policy: POLICIES[b as usize % POLICIES.len()].to_owned(),
         },
     }
 }
@@ -189,6 +196,7 @@ proptest! {
             jobs,
             fault_plan: (with_fault == 1)
                 .then(|| FaultPlan::with_seed(jobs as u64).render()),
+            governor: (jobs % 2 == 1).then(|| "throttle-on-boot".to_owned()),
             total_wall_s: wall.0,
             sections: vec![SectionRecord {
                 title: "Figure 11 — energy per instruction".to_owned(),

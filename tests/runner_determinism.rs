@@ -16,6 +16,7 @@ fn tiny(jobs: usize) -> Fidelity {
         warmup_cycles: 4_000,
         jobs,
         fault: None,
+        governor: piton::power::GovernorConfig::Off,
     }
 }
 

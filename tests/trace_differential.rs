@@ -224,6 +224,48 @@ fn golden_trace_noc_family() {
     assert_golden_trace("trace_noc.jsonl", &events);
 }
 
+/// Governor family (closed-loop Figure 9): a preheated Chip #1 die
+/// forces `ThrottleOnBoot` down the PLL ladder — every operating-point
+/// transition lands in the trace as a `governor` event carrying the
+/// held frequency and the junction temperature that forced it.
+#[test]
+fn golden_trace_governor_family() {
+    use piton::arch::units::{Hertz, Seconds, Volts};
+    use piton::board::system::PitonSystem;
+    use piton::power::governor::{Governor, GovernorConfig};
+    use piton::power::vf::{VfSolver, T_JUNCTION_LIMIT_C};
+
+    let spec = TraceSpec::parse("governor").expect("static spec");
+    let (_, events) = trace::capture(&spec, || {
+        let mut sys = PitonSystem::reference_chip_1();
+        sys.set_chunk_cycles(1_000);
+        sys.thermal_mut()
+            .settle_to_junction(T_JUNCTION_LIMIT_C + 6.0);
+        let hot_loop = Program::from_instructions(vec![
+            Instruction::movi(Reg::new(1), 0x5555),
+            Instruction::alu(Opcode::Add, Reg::new(2), Reg::new(1), Reg::new(1)),
+            Instruction::branch(Opcode::Beq, Reg::G0, Reg::G0, 1),
+        ]);
+        sys.machine_mut().load_on_tiles(25, 0, &hot_loop);
+        let solver = VfSolver::new(sys.power_model().clone(), 20.0);
+        let mut gov = Governor::new(
+            GovernorConfig::ThrottleOnBoot,
+            solver,
+            Volts(1.0),
+            Hertz::from_mhz(500.05),
+        );
+        let run = sys.run_governed(&mut gov, 8, Some(Seconds(0.05)));
+        assert!(run.throttled_steps > 0, "preheated die must throttle");
+    });
+    assert!(
+        events
+            .iter()
+            .all(|e| matches!(e, piton::obs::TraceEvent::Governor { .. })),
+        "a governor-only spec must pass nothing else"
+    );
+    assert_golden_trace("trace_governor.jsonl", &events);
+}
+
 /// Scaling/multithreading family (Figures 13/14): the standard
 /// randomized placement across many tiles and both threads, all
 /// subsystems traced.
