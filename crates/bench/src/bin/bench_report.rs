@@ -10,7 +10,7 @@
 //! cargo run --release -p piton-bench --bin bench_report -- --out=F    # output path
 //! ```
 //!
-//! Three sections cover the engine's distinct regimes:
+//! Five sections cover the engine's distinct regimes:
 //!
 //! * `epi_single_tile` — the Figure 11 EPI tests on one of 25 tiles: the
 //!   partially-idle case the event-driven scheduler exists for.
@@ -18,6 +18,10 @@
 //!   saturated case, bounding scheduler overhead.
 //! * `noc_traffic` — the Figure 12 chipset-driven invalidation stream:
 //!   the flat directed-link state arrays' hot loop.
+//! * `figure13_sweep` / `figure14_mt_mc` — the two actual wall-clock
+//!   walls of `reproduce`, timed end to end through the experiment
+//!   stack so the saturated-phase engine's effect lands in the report
+//!   directly, not just via the 25-core endpoint proxy.
 //!
 //! When built with `--features naive-engine`, each section is also timed
 //! against its seed ("baseline") implementation — the per-cycle-polling
@@ -168,6 +172,45 @@ fn baseline_engine_wall(
     _machines: impl Fn() -> Vec<Machine>,
 ) -> Option<(&'static str, f64)> {
     None
+}
+
+/// The full Figure 13 core-scaling sweep, end to end through the
+/// experiment stack (machines + power model + monitor): the longest
+/// wall in `reproduce`, dominated by the saturated dense phase the
+/// batched engine targets. `simulated_cycles` counts the measured
+/// machines' warmup+sample windows (a lower bound; exec-time reruns
+/// are extra), so the rate column is indicative only.
+fn figure13_sweep(f: &Fidelity) -> Section {
+    let start = Instant::now();
+    let r = piton_core::experiments::core_scaling::run(*f);
+    let wall = start.elapsed().as_secs_f64();
+    let points: u64 = r.series.iter().map(|s| s.points.len() as u64).sum();
+    assert!(points > 0, "core-scaling sweep produced no points");
+    Section {
+        name: "figure13_sweep",
+        description: "full Figure 13 core-scaling sweep (3 benchmarks x 2 T/C, end to end)",
+        simulated_cycles: points * section_cycles(f),
+        wall_s: wall,
+        baseline: None,
+    }
+}
+
+/// The full Figure 14 multithreading-versus-multicore study, end to
+/// end — the other saturated-phase wall (`simulated_cycles` is the
+/// same lower-bound estimate as `figure13_sweep`).
+fn figure14_mt_mc(f: &Fidelity) -> Section {
+    let start = Instant::now();
+    let r = piton_core::experiments::mt_vs_mc::run(*f);
+    let wall = start.elapsed().as_secs_f64();
+    let points: u64 = r.series.iter().map(|s| s.points.len() as u64).sum();
+    assert!(points > 0, "MT-vs-MC sweep produced no points");
+    Section {
+        name: "figure14_mt_mc",
+        description: "full Figure 14 MT-vs-MC study (3 benchmarks, both configs, end to end)",
+        simulated_cycles: points * section_cycles(f),
+        wall_s: wall,
+        baseline: None,
+    }
 }
 
 /// The Figure 12 grid: 4 switch patterns x hops 0..=8 of chipset-driven
@@ -346,6 +389,8 @@ fn main() {
         ),
         (core_scaling_25, "core_scaling_25"),
         (noc_traffic, "noc_traffic"),
+        (figure13_sweep, "figure13_sweep"),
+        (figure14_mt_mc, "figure14_mt_mc"),
     ] {
         let s = run(&fidelity);
         match (s.baseline, s.speedup()) {

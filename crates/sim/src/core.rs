@@ -33,6 +33,65 @@ use crate::program::Program;
 /// six-stage pipeline plus refetch).
 pub const ROLLBACK_PENALTY_CYCLES: u64 = 8;
 
+/// Opcode slot of an [`IssueRecord`] for a fall-off-the-end halt: the
+/// issue slot was consumed (the machine must count the cycle as
+/// issuing) but no instruction was fetched, so nothing folds into the
+/// per-opcode counters.
+pub const PHANTOM_OP: u16 = u16::MAX;
+
+/// One instruction issue deferred by [`Core::run_local`].
+///
+/// Everything *order-sensitive* about an issue travels here: the
+/// per-opcode operand-activity accumulation is the one `f64` the
+/// engines must fold in the naive engine's global (cycle, core) order,
+/// since floating-point addition does not associate. Order-free `u64`
+/// tallies travel in [`LocalCharges`] instead and fold at the batch
+/// barrier in any order.
+#[derive(Debug, Clone, Copy)]
+pub struct IssueRecord {
+    /// Cycle of the issue, as an offset from the local run's start.
+    pub offset: u32,
+    /// Dense opcode index ([`piton_arch::isa::Opcode::index`]), or
+    /// [`PHANTOM_OP`] for a fall-off-the-end halt.
+    pub op: u16,
+    /// Operand-value activity of the issue (what `record_issue` would
+    /// have added to `operand_activity`), already clamped to `[0, 1]`.
+    pub activity: f64,
+}
+
+/// Order-free activity accumulated by [`Core::run_local`] over a local
+/// span, folded into the machine's [`ActivityCounters`] at the batch
+/// barrier. Integer addition is exact and commutative, so per-core
+/// batch aggregation is bit-identical to the naive engine's per-cycle
+/// charging no matter how lanes interleave.
+#[derive(Debug, Clone, Default)]
+pub struct LocalCharges {
+    /// `core_active_cycles` charged over the span.
+    pub active: u64,
+    /// `mem_stall_cycles` charged over the span.
+    pub mem_stall: u64,
+    /// `dual_thread_cycles` charged over the span.
+    pub dual: u64,
+    /// `drafted_issues` charged over the span.
+    pub drafted: u64,
+    /// `l1i_accesses` charged over the span.
+    pub l1i: u64,
+    /// `sb_enqueues` charged over the span.
+    pub sb_enqueues: u64,
+    /// Per-opcode issue counts (`ActivityCounters::issues`).
+    pub issues: [u64; Opcode::COUNT],
+    /// Per-opcode occupancy totals
+    /// (`ActivityCounters::occupancy_cycles`).
+    pub occupancy: [u64; Opcode::COUNT],
+}
+
+impl LocalCharges {
+    /// Zeroes every field for buffer reuse.
+    pub fn clear(&mut self) {
+        *self = LocalCharges::default();
+    }
+}
+
 /// Execution state of one hardware thread.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ThreadState {
@@ -409,6 +468,602 @@ impl Core {
         self.last_issue = here;
         self.issue(idx, now, memsys, act);
         true
+    }
+
+    /// Number of threads currently in the running state.
+    fn running_threads(&self) -> usize {
+        self.threads
+            .iter()
+            .filter(|t| t.state == ThreadState::Running)
+            .count()
+    }
+
+    /// An opaque identity for the program this core is executing:
+    /// `Arc` pointer identity of the first running thread's program, so
+    /// cores loaded from one shared decode (`load_on_tiles`, or the
+    /// shared microbenchmark images) compare equal. The batched dense
+    /// engine groups same-program lanes onto one worker so the shared
+    /// instruction stream stays hot in that worker's cache. Zero when
+    /// nothing is loaded.
+    #[must_use]
+    pub fn program_identity(&self) -> usize {
+        self.threads
+            .iter()
+            .find(|t| t.state == ThreadState::Running)
+            .and_then(|t| t.program.as_ref())
+            .map_or(0, |p| Arc::as_ptr(p) as usize)
+    }
+
+    /// Batch-steps this core over `[start, end)` while its cycles stay
+    /// *local* — touching only its own threads, registers and (empty)
+    /// store buffer, never the shared memory system — and returns the
+    /// first cycle it could not cover (its *horizon*).
+    ///
+    /// Order-free integer charges accrue into `charges`; each issue
+    /// appends an [`IssueRecord`] to `records` so the machine can fold
+    /// the order-sensitive operand-activity `f64`s (and count issuing
+    /// cycles) in the naive engine's global (cycle, core) order. The
+    /// run stops:
+    ///
+    /// * **before** a `ldx`/`casx` issue (horizon = that cycle, none of
+    ///   that cycle's charges applied): the access must reach the
+    ///   memory system through a real [`Core::step`] in global core
+    ///   order;
+    /// * **after** an `stx` (horizon = cycle + 1): the push itself is
+    ///   local, but the enqueued drain makes the following cycle's
+    ///   buffer advance a memory-system mutation;
+    /// * at `end`, or when every thread has halted (horizon = `end`;
+    ///   remaining cycles charge nothing, exactly like a [`Core::step`]
+    ///   of a fully-halted core).
+    ///
+    /// Stall spans are bulk-charged at frozen rates, mirroring the
+    /// machine's fast-forward: while no thread can issue, no thread
+    /// state changes, so the active/memory-stall rates are constants of
+    /// the span.
+    ///
+    /// The caller must ensure the core is enabled, the store buffer is
+    /// empty, and tracing is inactive (deferred issues emit no trace
+    /// events); `Machine::run_dense_batched` guards all three.
+    #[allow(clippy::too_many_lines, clippy::cast_possible_truncation)]
+    pub fn run_local(
+        &mut self,
+        start: u64,
+        end: u64,
+        records: &mut Vec<IssueRecord>,
+        charges: &mut LocalCharges,
+    ) -> u64 {
+        debug_assert!(self.enabled, "run_local on a fused-off core");
+        debug_assert!(
+            self.store_buffer.entries.is_empty(),
+            "run_local with pending stores"
+        );
+        // The saturated sweeps this engine exists for run one thread
+        // per core: a specialized loop keeps that thread's state in
+        // locals and skips the round-robin/dual/memory-wait scans
+        // (with one running thread, the issuing thread is never
+        // memory-waiting at its own issue cycle, nothing drafts after
+        // the first issue, and there is no dual-thread charge).
+        {
+            let mut running = self
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.state == ThreadState::Running);
+            if let (Some((only, _)), None) = (running.next(), running.next()) {
+                return self.run_local_single(only, start, end, records, charges);
+            }
+        }
+        let n = self.threads.len();
+        let mut now = start;
+        while now < end {
+            let mut chosen = None;
+            for k in 0..n {
+                let idx = (self.next_thread + k) % n;
+                let t = &self.threads[idx];
+                if t.state == ThreadState::Running && t.busy_until <= now {
+                    chosen = Some(idx);
+                    break;
+                }
+            }
+            let mem_waiting = self
+                .threads
+                .iter()
+                .filter(|t| t.memory_waiting(now))
+                .count() as u64;
+            let Some(idx) = chosen else {
+                // Stall span: no thread can issue before the earliest
+                // `busy_until`, and no state changes until then, so
+                // both charge rates are frozen — bulk them and jump.
+                let Some(wake) = self.next_ready_at() else {
+                    return end; // every thread halted
+                };
+                let wake = wake.min(end);
+                let span = wake - now;
+                charges.active += span;
+                charges.mem_stall += span * mem_waiting;
+                now = wake;
+                continue;
+            };
+            let pc = self.threads[idx].pc;
+            let instr = self.threads[idx]
+                .program
+                .as_ref()
+                .expect("running thread has a program")
+                .instructions
+                .get(pc)
+                .copied();
+            let offset = (now - start) as u32;
+            let dual = self.running_threads() >= 2;
+            let Some(instr) = instr else {
+                // Fell off the end: an issuing step that fetches and
+                // records nothing, halting the thread.
+                charges.active += 1;
+                charges.mem_stall += mem_waiting;
+                if dual {
+                    charges.dual += 1;
+                }
+                self.next_thread = (idx + 1) % n;
+                self.last_issue = None;
+                self.threads[idx].state = ThreadState::Halted;
+                records.push(IssueRecord {
+                    offset,
+                    op: PHANTOM_OP,
+                    activity: 0.0,
+                });
+                now += 1;
+                continue;
+            };
+            let op = instr.opcode;
+            if matches!(op, Opcode::Ldx | Opcode::Casx) {
+                // Hand the whole cycle back before committing any of
+                // its charges: the machine redoes it via `step`.
+                return now;
+            }
+            charges.active += 1;
+            charges.mem_stall += mem_waiting;
+            self.next_thread = (idx + 1) % n;
+            if dual {
+                charges.dual += 1;
+            }
+            if let Some((prev_t, prev_pc, prev_op)) = self.last_issue {
+                if prev_t != idx && prev_pc == pc && prev_op == op {
+                    charges.drafted += 1;
+                }
+            }
+            self.last_issue = Some((idx, pc, op));
+            charges.l1i += 1;
+
+            let emit = |records: &mut Vec<IssueRecord>,
+                        charges: &mut LocalCharges,
+                        occupancy: u64,
+                        activity: f64|
+             -> u64 {
+                let occupancy = occupancy.max(1);
+                let i = op.index();
+                charges.issues[i] += 1;
+                charges.occupancy[i] += occupancy;
+                records.push(IssueRecord {
+                    offset,
+                    op: i as u16,
+                    activity: activity.clamp(0.0, 1.0),
+                });
+                occupancy
+            };
+            let occupy = |t: &mut Thread, occupancy: u64, wait: WaitKind, target: Option<usize>| {
+                t.busy_until = now + occupancy;
+                t.wait = wait;
+                t.pc = target.unwrap_or(t.pc + 1);
+                t.retired += 1;
+            };
+
+            match op {
+                Opcode::Nop => {
+                    let occ = emit(records, charges, 1, 0.0);
+                    occupy(&mut self.threads[idx], occ, WaitKind::Execute, None);
+                }
+                Opcode::Movi => {
+                    let v = instr.imm as u64;
+                    self.threads[idx].write(instr.rd, v);
+                    let occ = emit(records, charges, 1, 0.0);
+                    occupy(&mut self.threads[idx], occ, WaitKind::Execute, None);
+                }
+                Opcode::And | Opcode::Add | Opcode::Sub | Opcode::Mulx | Opcode::Sdivx => {
+                    let a = self.threads[idx].read(instr.rs1);
+                    let b = self.threads[idx].read(instr.rs2);
+                    let r = match op {
+                        Opcode::And => a & b,
+                        Opcode::Add => a.wrapping_add(b),
+                        Opcode::Sub => a.wrapping_sub(b),
+                        Opcode::Mulx => a.wrapping_mul(b),
+                        Opcode::Sdivx => {
+                            if b == 0 {
+                                u64::MAX
+                            } else {
+                                ((a as i64).wrapping_div(b as i64)) as u64
+                            }
+                        }
+                        _ => unreachable!(),
+                    };
+                    self.threads[idx].write(instr.rd, r);
+                    let occ = emit(
+                        records,
+                        charges,
+                        op.base_latency(),
+                        datapath_activity(a, b, r),
+                    );
+                    occupy(&mut self.threads[idx], occ, WaitKind::Execute, None);
+                }
+                Opcode::Faddd | Opcode::Fmuld | Opcode::Fdivd => {
+                    let a = f64::from_bits(self.threads[idx].read(instr.rs1));
+                    let b = f64::from_bits(self.threads[idx].read(instr.rs2));
+                    let r = match op {
+                        Opcode::Faddd => a + b,
+                        Opcode::Fmuld => a * b,
+                        Opcode::Fdivd => a / b,
+                        _ => unreachable!(),
+                    };
+                    let bits = r.to_bits();
+                    self.threads[idx].write(instr.rd, bits);
+                    let occ = emit(
+                        records,
+                        charges,
+                        op.base_latency(),
+                        datapath_activity(a.to_bits(), b.to_bits(), bits),
+                    );
+                    occupy(&mut self.threads[idx], occ, WaitKind::Execute, None);
+                }
+                Opcode::Fadds | Opcode::Fmuls | Opcode::Fdivs => {
+                    let a = f32::from_bits(self.threads[idx].read(instr.rs1) as u32);
+                    let b = f32::from_bits(self.threads[idx].read(instr.rs2) as u32);
+                    let r = match op {
+                        Opcode::Fadds => a + b,
+                        Opcode::Fmuls => a * b,
+                        Opcode::Fdivs => a / b,
+                        _ => unreachable!(),
+                    };
+                    let bits = u64::from(r.to_bits());
+                    self.threads[idx].write(instr.rd, bits);
+                    let occ = emit(
+                        records,
+                        charges,
+                        op.base_latency(),
+                        datapath_activity(u64::from(a.to_bits()), u64::from(b.to_bits()), bits),
+                    );
+                    occupy(&mut self.threads[idx], occ, WaitKind::Execute, None);
+                }
+                Opcode::Stx => {
+                    // The buffer was empty at entry and the run stops
+                    // after the first store, so it can never be full
+                    // here — no roll-back path in local mode.
+                    let addr = self.threads[idx]
+                        .read(instr.rs1)
+                        .wrapping_add(instr.imm as u64);
+                    let value = self.threads[idx].read(instr.rs2);
+                    self.store_buffer.push(addr, value, now);
+                    charges.sb_enqueues += 1;
+                    let occ = emit(records, charges, 1, value_activity(value));
+                    occupy(&mut self.threads[idx], occ, WaitKind::Execute, None);
+                    // From the next cycle on the pending drain is a
+                    // memory-system mutation: hand back.
+                    return now + 1;
+                }
+                Opcode::Beq | Opcode::Bne => {
+                    let a = self.threads[idx].read(instr.rs1);
+                    let b = self.threads[idx].read(instr.rs2);
+                    let taken = (op == Opcode::Beq) == (a == b);
+                    let target = if taken {
+                        Some(instr.branch_target())
+                    } else {
+                        None
+                    };
+                    let occ = emit(
+                        records,
+                        charges,
+                        op.base_latency(),
+                        datapath_activity(a, b, u64::from(taken)),
+                    );
+                    occupy(&mut self.threads[idx], occ, WaitKind::Execute, target);
+                }
+                Opcode::Membar => {
+                    // Empty buffer: only the drain port's residual
+                    // busy time can hold the barrier.
+                    let done = self.store_buffer.drained_by(now);
+                    let occ = emit(records, charges, (done - now).max(op.base_latency()), 0.0);
+                    occupy(&mut self.threads[idx], occ, WaitKind::StoreDrain, None);
+                }
+                Opcode::Halt => {
+                    let t = &mut self.threads[idx];
+                    t.retired += 1;
+                    t.state = ThreadState::Halted;
+                    let i = op.index();
+                    charges.issues[i] += 1;
+                    charges.occupancy[i] += 1;
+                    records.push(IssueRecord {
+                        offset,
+                        op: i as u16,
+                        activity: 0.0,
+                    });
+                }
+                Opcode::Ldx | Opcode::Casx => unreachable!("handled above"),
+            }
+            now += 1;
+        }
+        end
+    }
+
+    /// [`Core::run_local`] specialized for exactly one running thread —
+    /// the shape of every saturated-phase sweep (Figures 13/14 run one
+    /// software thread per core). The thread's hot state (`pc`,
+    /// `busy_until`, wait kind) lives in locals for the whole span and
+    /// is flushed once on exit, and the invariants of the single-thread
+    /// case delete the per-cycle bookkeeping wholesale: the issuing
+    /// thread is never memory-waiting at its own issue cycle, idle and
+    /// halted siblings never are, `dual` is statically false, the
+    /// round-robin always picks this thread, `next_thread`/`last_issue`
+    /// take the same value at every issue (written once at exit), and
+    /// only the *first* issue can draft (against a sibling's final
+    /// issue from before the span).
+    #[allow(clippy::too_many_lines, clippy::cast_possible_truncation)]
+    fn run_local_single(
+        &mut self,
+        idx: usize,
+        start: u64,
+        end: u64,
+        records: &mut Vec<IssueRecord>,
+        charges: &mut LocalCharges,
+    ) -> u64 {
+        let n = self.threads.len();
+        let prog = self.threads[idx]
+            .program
+            .clone()
+            .expect("running thread has a program");
+        let code = &prog.instructions;
+        let t = &mut self.threads[idx];
+        let mut pc = t.pc;
+        let mut busy = t.busy_until;
+        let mut wait = t.wait;
+        let mut retired = 0u64;
+        // `Some(v)` once any issue slot was consumed: `last_issue`
+        // becomes `v` and `next_thread` advances past `idx`, exactly as
+        // the final per-cycle issue would have left them.
+        let mut new_last: Option<Option<(usize, usize, Opcode)>> = None;
+        let mut first = true;
+        let mut now = start;
+        let horizon = 'run: {
+            while now < end {
+                if busy > now {
+                    // Stall span at frozen rates, as in the generic loop.
+                    let wake = busy.min(end);
+                    let span = wake - now;
+                    charges.active += span;
+                    if wait == WaitKind::Memory {
+                        charges.mem_stall += span;
+                    }
+                    now = wake;
+                    continue;
+                }
+                let offset = (now - start) as u32;
+                let Some(&instr) = code.get(pc) else {
+                    // Fell off the end: phantom issue, then every
+                    // remaining cycle charges nothing.
+                    charges.active += 1;
+                    new_last = Some(None);
+                    t.state = ThreadState::Halted;
+                    records.push(IssueRecord {
+                        offset,
+                        op: PHANTOM_OP,
+                        activity: 0.0,
+                    });
+                    break 'run end;
+                };
+                let op = instr.opcode;
+                if matches!(op, Opcode::Ldx | Opcode::Casx) {
+                    break 'run now;
+                }
+                charges.active += 1;
+                if first {
+                    if let Some((prev_t, prev_pc, prev_op)) = self.last_issue {
+                        if prev_t != idx && prev_pc == pc && prev_op == op {
+                            charges.drafted += 1;
+                        }
+                    }
+                    first = false;
+                }
+                new_last = Some(Some((idx, pc, op)));
+                charges.l1i += 1;
+                let i = op.index();
+                match op {
+                    Opcode::Nop => {
+                        charges.issues[i] += 1;
+                        charges.occupancy[i] += 1;
+                        records.push(IssueRecord {
+                            offset,
+                            op: i as u16,
+                            activity: 0.0,
+                        });
+                        busy = now + 1;
+                        wait = WaitKind::Execute;
+                        pc += 1;
+                        retired += 1;
+                    }
+                    Opcode::Movi => {
+                        t.write(instr.rd, instr.imm as u64);
+                        charges.issues[i] += 1;
+                        charges.occupancy[i] += 1;
+                        records.push(IssueRecord {
+                            offset,
+                            op: i as u16,
+                            activity: 0.0,
+                        });
+                        busy = now + 1;
+                        wait = WaitKind::Execute;
+                        pc += 1;
+                        retired += 1;
+                    }
+                    Opcode::And | Opcode::Add | Opcode::Sub | Opcode::Mulx | Opcode::Sdivx => {
+                        let a = t.read(instr.rs1);
+                        let b = t.read(instr.rs2);
+                        let r = match op {
+                            Opcode::And => a & b,
+                            Opcode::Add => a.wrapping_add(b),
+                            Opcode::Sub => a.wrapping_sub(b),
+                            Opcode::Mulx => a.wrapping_mul(b),
+                            Opcode::Sdivx => {
+                                if b == 0 {
+                                    u64::MAX
+                                } else {
+                                    ((a as i64).wrapping_div(b as i64)) as u64
+                                }
+                            }
+                            _ => unreachable!(),
+                        };
+                        t.write(instr.rd, r);
+                        let occ = op.base_latency().max(1);
+                        charges.issues[i] += 1;
+                        charges.occupancy[i] += occ;
+                        records.push(IssueRecord {
+                            offset,
+                            op: i as u16,
+                            activity: datapath_activity(a, b, r).clamp(0.0, 1.0),
+                        });
+                        busy = now + occ;
+                        wait = WaitKind::Execute;
+                        pc += 1;
+                        retired += 1;
+                    }
+                    Opcode::Faddd | Opcode::Fmuld | Opcode::Fdivd => {
+                        let a = f64::from_bits(t.read(instr.rs1));
+                        let b = f64::from_bits(t.read(instr.rs2));
+                        let r = match op {
+                            Opcode::Faddd => a + b,
+                            Opcode::Fmuld => a * b,
+                            Opcode::Fdivd => a / b,
+                            _ => unreachable!(),
+                        };
+                        let bits = r.to_bits();
+                        t.write(instr.rd, bits);
+                        let occ = op.base_latency().max(1);
+                        charges.issues[i] += 1;
+                        charges.occupancy[i] += occ;
+                        records.push(IssueRecord {
+                            offset,
+                            op: i as u16,
+                            activity: datapath_activity(a.to_bits(), b.to_bits(), bits)
+                                .clamp(0.0, 1.0),
+                        });
+                        busy = now + occ;
+                        wait = WaitKind::Execute;
+                        pc += 1;
+                        retired += 1;
+                    }
+                    Opcode::Fadds | Opcode::Fmuls | Opcode::Fdivs => {
+                        let a = f32::from_bits(t.read(instr.rs1) as u32);
+                        let b = f32::from_bits(t.read(instr.rs2) as u32);
+                        let r = match op {
+                            Opcode::Fadds => a + b,
+                            Opcode::Fmuls => a * b,
+                            Opcode::Fdivs => a / b,
+                            _ => unreachable!(),
+                        };
+                        let bits = u64::from(r.to_bits());
+                        t.write(instr.rd, bits);
+                        let occ = op.base_latency().max(1);
+                        charges.issues[i] += 1;
+                        charges.occupancy[i] += occ;
+                        records.push(IssueRecord {
+                            offset,
+                            op: i as u16,
+                            activity: datapath_activity(
+                                u64::from(a.to_bits()),
+                                u64::from(b.to_bits()),
+                                bits,
+                            )
+                            .clamp(0.0, 1.0),
+                        });
+                        busy = now + occ;
+                        wait = WaitKind::Execute;
+                        pc += 1;
+                        retired += 1;
+                    }
+                    Opcode::Stx => {
+                        let addr = t.read(instr.rs1).wrapping_add(instr.imm as u64);
+                        let value = t.read(instr.rs2);
+                        self.store_buffer.push(addr, value, now);
+                        charges.sb_enqueues += 1;
+                        charges.issues[i] += 1;
+                        charges.occupancy[i] += 1;
+                        records.push(IssueRecord {
+                            offset,
+                            op: i as u16,
+                            activity: value_activity(value).clamp(0.0, 1.0),
+                        });
+                        busy = now + 1;
+                        wait = WaitKind::Execute;
+                        pc += 1;
+                        retired += 1;
+                        break 'run now + 1;
+                    }
+                    Opcode::Beq | Opcode::Bne => {
+                        let a = t.read(instr.rs1);
+                        let b = t.read(instr.rs2);
+                        let taken = (op == Opcode::Beq) == (a == b);
+                        let occ = op.base_latency().max(1);
+                        charges.issues[i] += 1;
+                        charges.occupancy[i] += occ;
+                        records.push(IssueRecord {
+                            offset,
+                            op: i as u16,
+                            activity: datapath_activity(a, b, u64::from(taken)).clamp(0.0, 1.0),
+                        });
+                        busy = now + occ;
+                        wait = WaitKind::Execute;
+                        pc = if taken { instr.branch_target() } else { pc + 1 };
+                        retired += 1;
+                    }
+                    Opcode::Membar => {
+                        // Empty buffer: only residual drain-port busy
+                        // time can hold the barrier.
+                        let done = self.store_buffer.drained_by(now);
+                        let occ = (done - now).max(op.base_latency()).max(1);
+                        charges.issues[i] += 1;
+                        charges.occupancy[i] += occ;
+                        records.push(IssueRecord {
+                            offset,
+                            op: i as u16,
+                            activity: 0.0,
+                        });
+                        busy = now + occ;
+                        wait = WaitKind::StoreDrain;
+                        pc += 1;
+                        retired += 1;
+                    }
+                    Opcode::Halt => {
+                        retired += 1;
+                        t.state = ThreadState::Halted;
+                        charges.issues[i] += 1;
+                        charges.occupancy[i] += 1;
+                        records.push(IssueRecord {
+                            offset,
+                            op: i as u16,
+                            activity: 0.0,
+                        });
+                        break 'run end;
+                    }
+                    Opcode::Ldx | Opcode::Casx => unreachable!("handled above"),
+                }
+                now += 1;
+            }
+            end
+        };
+        t.pc = pc;
+        t.busy_until = busy;
+        t.wait = wait;
+        t.retired += retired;
+        if let Some(v) = new_last {
+            self.last_issue = v;
+            self.next_thread = (idx + 1) % n;
+        }
+        horizon
     }
 
     /// Issues the next instruction of thread `idx`.

@@ -54,11 +54,12 @@ use piton_arch::topology::TileId;
 use piton_obs::metrics::{self, Histogram};
 use piton_obs::trace::{self, EngineMode, TraceEvent};
 
-use crate::core::{Core, WaitKind};
+use crate::core::{Core, IssueRecord, LocalCharges, WaitKind, PHANTOM_OP};
 use crate::events::ActivityCounters;
 use crate::memsys::MemorySystem;
 use crate::noc::NocId;
 use crate::program::Program;
+use piton_arch::isa::Opcode;
 
 /// How a watched run stopped making progress.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -253,6 +254,15 @@ pub struct EngineMetrics {
     pub event_cycles: u64,
     /// Cycles driven by the dense polling mode.
     pub dense_cycles: u64,
+    /// Cycles driven by the batched (phase-A/phase-B) dense mode.
+    pub batched_cycles: u64,
+    /// Batches executed by the batched dense mode (each ends in one
+    /// effect-replay barrier).
+    pub batches: u64,
+    /// High-water mark of deferred issues buffered by any one lane in
+    /// any batch — the effect-buffer depth phase B replays at the
+    /// barrier.
+    pub record_hwm: u64,
     /// Cycles driven by the reference naive engine.
     pub naive_cycles: u64,
     /// Mode handovers (calendar ↔ dense) within `run` calls.
@@ -272,8 +282,41 @@ struct PublishedMarks {
     calendar_stale_pops: u64,
     event_cycles: u64,
     dense_cycles: u64,
+    batched_cycles: u64,
+    batches: u64,
     naive_cycles: u64,
     handovers: u64,
+}
+
+/// Batch length of the batched dense engine, in cycles: long enough to
+/// amortize the per-batch lane setup and the phase-A thread-scope
+/// spawn, short enough that a core whose store buffer empties (or that
+/// halts) re-enters the fast local path at the next barrier.
+const DENSE_BATCH_CYCLES: u64 = 4_096;
+
+/// Reusable per-lane state of the batched dense engine: phase A's
+/// output (the lane's *effect buffer* of deferred issues plus its
+/// order-free charge aggregates) and phase B's replay cursor. Kept on
+/// the machine so the batch loop does not reallocate.
+#[derive(Debug, Clone, Default)]
+struct LaneBuf {
+    /// First cycle phase A could not cover locally (== the batch start
+    /// for lanes that must be stepped from the outset).
+    horizon: u64,
+    /// Next unreplayed record (phase B).
+    cursor: usize,
+    /// Deferred issues of the local span, in cycle order.
+    records: Vec<IssueRecord>,
+    /// Order-free charges of the local span.
+    charges: LocalCharges,
+}
+
+/// Phase-A worker threads from `PITON_DENSE_THREADS` (default 1).
+fn dense_threads_from_env() -> usize {
+    std::env::var("PITON_DENSE_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map_or(1, |n| n.max(1))
 }
 
 /// The simulated Piton chip.
@@ -298,6 +341,11 @@ pub struct Machine {
     /// Test-only scheduler fault: delays every ready-calendar wakeup by
     /// this many cycles. Zero in production.
     calendar_skew: u64,
+    /// Worker threads for the batched dense engine's phase A (see
+    /// [`Machine::set_dense_threads`]).
+    dense_threads: usize,
+    /// Per-lane scratch buffers of the batched dense engine.
+    lane_scratch: Vec<LaneBuf>,
     /// Clock the DVFS governor currently holds (kHz), when one is
     /// driving this machine. Set by the board layer's governed run
     /// loop; surfaced in [`HangReport`] so a watchdog firing at a
@@ -330,8 +378,29 @@ impl Machine {
             emetrics: EngineMetrics::default(),
             published: PublishedMarks::default(),
             calendar_skew: 0,
+            dense_threads: dense_threads_from_env(),
+            lane_scratch: Vec::new(),
             governed_khz: None,
         }
+    }
+
+    /// Sets the worker-thread count for the batched dense engine's
+    /// phase A (the local lane run-ahead). Defaults to the
+    /// `PITON_DENSE_THREADS` environment variable, else 1 (fully
+    /// serial, no thread scope spawned).
+    ///
+    /// Any setting produces bit-identical results: phase A writes only
+    /// disjoint per-lane buffers and never touches the shared memory
+    /// system, and phase B replays the buffers sequentially in
+    /// ascending core order at the batch barrier.
+    pub fn set_dense_threads(&mut self, threads: usize) {
+        self.dense_threads = threads.max(1);
+    }
+
+    /// The batched dense engine's phase-A worker-thread count.
+    #[must_use]
+    pub fn dense_threads(&self) -> usize {
+        self.dense_threads
     }
 
     /// Records the clock a DVFS governor is holding (kHz), or `None`
@@ -485,15 +554,30 @@ impl Machine {
                 return;
             }
             self.emetrics.handovers += 1;
-            if trace::active() {
+            // Traced runs use the scalar dense sweep: deferred local
+            // execution emits no per-cycle trace events, so live event
+            // order is only preserved by stepping every cycle in place.
+            // Untraced runs (every production sweep) take the batched
+            // engine; both are counter-exact, so the choice is
+            // invisible outside the engine diagnostics.
+            let traced = trace::active();
+            if traced {
                 trace::emit(TraceEvent::Engine {
                     cycle: self.now,
                     mode: EngineMode::Dense,
                 });
             }
             let entered = self.now;
-            let done = self.run_dense(end);
-            self.emetrics.dense_cycles += self.now - entered;
+            let done = if traced {
+                self.run_dense(end)
+            } else {
+                self.run_dense_batched(end)
+            };
+            if traced {
+                self.emetrics.dense_cycles += self.now - entered;
+            } else {
+                self.emetrics.batched_cycles += self.now - entered;
+            }
             if done {
                 return;
             }
@@ -760,6 +844,240 @@ impl Machine {
         true
     }
 
+    /// Batched dense stepping until `end` (returns `true`) or until a
+    /// whole batch's issue duty is low enough that the event scheduler
+    /// is worth its rebuild (returns `false`). Counter-exact against
+    /// [`Machine::run_naive`] and the scalar [`Machine::run_dense`];
+    /// only the engine diagnostics can tell them apart.
+    ///
+    /// Each batch (at most [`DENSE_BATCH_CYCLES`]) runs in two phases
+    /// over the polled lanes (cores with a running thread or drains in
+    /// flight), re-derived every batch:
+    ///
+    /// * **Phase A** — every polled core whose store buffer is empty
+    ///   runs ahead *locally* ([`Core::run_local`]): ALU/FP/branch
+    ///   cycles touch nothing shared, so order-free integer charges
+    ///   aggregate per lane and each issue's order-sensitive residue is
+    ///   deferred into the lane's effect buffer. A lane stops at its
+    ///   *horizon* — the first memory-system access. Phase A has no
+    ///   effects outside its own lane, so lanes fan out across
+    ///   [`Machine::set_dense_threads`] scoped workers (same-program
+    ///   lanes grouped per worker via `Arc` pointer identity, keeping
+    ///   the shared decode hot) with bit-identical results at any
+    ///   thread count.
+    /// * **Phase B** — the one sequential pass that owns the shared
+    ///   memory system: cycles ascend, and within each cycle the lanes
+    ///   are visited in ascending tile order — folding the lane's
+    ///   deferred record before its horizon, taking a real
+    ///   [`Core::step`] at and beyond it — which is exactly the naive
+    ///   engine's global mutation sequence, so every NoC Hamming chain
+    ///   and `f64` accumulation folds in the same order, bit for bit.
+    ///   Zero-issue cycles fast-forward like the scalar modes: local
+    ///   lanes contribute their next record's cycle (equal to their
+    ///   hidden `next_ready_at`, since a ready local thread always
+    ///   issues), stepped lanes their actual `next_ready_at`, and the
+    ///   bulk charge covers stepped lanes only — local spans were
+    ///   already charged by phase A at the same frozen rates.
+    ///
+    /// Re-deriving the poll set per batch is also the mode-hysteresis
+    /// fix for degraded dies: a core that halts or is fused off leaves
+    /// both the stepping loop and the issue-duty denominator at the
+    /// next barrier, where the scalar sweep's entry-fixed poll set kept
+    /// counting it and could ping-pong modes on a heavily-fused part.
+    #[allow(clippy::too_many_lines)]
+    fn run_dense_batched(&mut self, end: u64) -> bool {
+        let mut scratch = std::mem::take(&mut self.lane_scratch);
+        let mut reached_end = true;
+        'batches: while self.now < end {
+            let polled: Vec<usize> = (0..self.cores.len())
+                .filter(|&k| self.cores[k].any_running() || self.cores[k].has_pending_stores())
+                .collect();
+            if polled.is_empty() {
+                // Nothing can ever issue or drain: idle the clock out.
+                self.act.cycles += end - self.now;
+                self.now = end;
+                break;
+            }
+            let start = self.now;
+            let bend = (start + DENSE_BATCH_CYCLES).min(end);
+            self.emetrics.batches += 1;
+            if scratch.len() < polled.len() {
+                scratch.resize_with(polled.len(), LaneBuf::default);
+            }
+
+            // Phase A: run store-buffer-empty lanes ahead locally.
+            {
+                let mut tasks: Vec<(&mut Core, &mut LaneBuf)> = Vec::with_capacity(polled.len());
+                let mut cores = self.cores.iter_mut();
+                let mut bufs = scratch.iter_mut();
+                let mut consumed = 0usize;
+                for &k in &polled {
+                    let core = cores.nth(k - consumed).expect("polled index in range");
+                    consumed = k + 1;
+                    let buf = bufs.next().expect("scratch sized to polled");
+                    buf.cursor = 0;
+                    buf.records.clear();
+                    buf.charges.clear();
+                    if core.has_pending_stores() {
+                        // In-flight drains: stepped for the whole batch.
+                        buf.horizon = start;
+                    } else {
+                        tasks.push((core, buf));
+                    }
+                }
+                let workers = self.dense_threads.min(tasks.len());
+                if workers <= 1 {
+                    for (core, buf) in &mut tasks {
+                        buf.horizon =
+                            core.run_local(start, bend, &mut buf.records, &mut buf.charges);
+                    }
+                } else {
+                    // Group same-program lanes onto one worker so the
+                    // shared decode stays hot per worker; lane outputs
+                    // are disjoint, so placement cannot affect results.
+                    tasks.sort_by_key(|(core, _)| core.program_identity());
+                    let per = tasks.len().div_ceil(workers);
+                    std::thread::scope(|s| {
+                        for chunk in tasks.chunks_mut(per) {
+                            s.spawn(move || {
+                                for (core, buf) in chunk {
+                                    buf.horizon = core.run_local(
+                                        start,
+                                        bend,
+                                        &mut buf.records,
+                                        &mut buf.charges,
+                                    );
+                                }
+                            });
+                        }
+                    });
+                }
+            }
+            for buf in &scratch[..polled.len()] {
+                self.emetrics.record_hwm = self.emetrics.record_hwm.max(buf.records.len() as u64);
+            }
+
+            // Phase B: the sequential exact replay.
+            let metrics_on = metrics::enabled();
+            // When every lane covered the whole batch locally, the
+            // replay is a pure record merge: no horizon checks, no core
+            // access — just each lane's next record against the cycle.
+            let all_local = scratch[..polled.len()].iter().all(|b| b.horizon == bend);
+            let mut issued_total: u64 = 0;
+            let mut processed: u64 = 0;
+            let mut c = start;
+            while c < bend {
+                let mut issued: u64 = 0;
+                #[allow(clippy::cast_possible_truncation)]
+                let rel = (c - start) as u32;
+                if all_local {
+                    for buf in &mut scratch[..polled.len()] {
+                        if let Some(r) = buf.records.get(buf.cursor) {
+                            if r.offset == rel {
+                                if r.op != PHANTOM_OP {
+                                    self.act.operand_activity[r.op as usize] += r.activity;
+                                }
+                                issued += 1;
+                                buf.cursor += 1;
+                            }
+                        }
+                    }
+                } else {
+                    for (j, &k) in polled.iter().enumerate() {
+                        let buf = &mut scratch[j];
+                        if c < buf.horizon {
+                            if let Some(r) = buf.records.get(buf.cursor) {
+                                if r.offset == rel {
+                                    if r.op != PHANTOM_OP {
+                                        self.act.operand_activity[r.op as usize] += r.activity;
+                                    }
+                                    issued += 1;
+                                    buf.cursor += 1;
+                                }
+                            }
+                        } else {
+                            issued +=
+                                u64::from(self.cores[k].step(c, &mut self.memsys, &mut self.act));
+                        }
+                    }
+                }
+                self.engine_steps += polled.len() as u64;
+                if issued > 0 && metrics_on {
+                    self.emetrics.issue_duty.observe(issued);
+                }
+                issued_total += issued;
+                processed += 1;
+                c += 1;
+                if issued == 0 && c < bend {
+                    // The naive fast-forward, batched: local lanes'
+                    // next event is their next deferred record (or
+                    // their frozen wake time once the buffer is dry —
+                    // provably at or beyond their horizon), stepped
+                    // lanes' is their live `next_ready_at`. Charges
+                    // cover stepped lanes only; phase A already charged
+                    // the local spans at the same frozen rates.
+                    let mut next = bend;
+                    let mut running: u64 = 0;
+                    let mut mem_waiting: u64 = 0;
+                    for (j, &k) in polled.iter().enumerate() {
+                        let buf = &scratch[j];
+                        if c < buf.horizon {
+                            if let Some(r) = buf.records.get(buf.cursor) {
+                                next = next.min(start + u64::from(r.offset));
+                            } else if let Some(t) = self.cores[k].next_ready_at() {
+                                debug_assert!(t >= buf.horizon, "local lane wakes inside its span");
+                                next = next.min(t);
+                            }
+                        } else {
+                            running += u64::from(self.cores[k].any_running());
+                            mem_waiting += self.cores[k].memory_waiting_threads(c);
+                            if let Some(t) = self.cores[k].next_ready_at() {
+                                next = next.min(t);
+                            }
+                        }
+                    }
+                    let next = next.max(c);
+                    if next > c {
+                        let skipped = next - c;
+                        self.act.cycles += skipped;
+                        self.act.core_active_cycles += skipped * running;
+                        self.act.mem_stall_cycles += skipped * mem_waiting;
+                        c = next;
+                    }
+                }
+            }
+            self.act.cycles += processed;
+            self.now = c;
+
+            // The barrier: fold the order-free phase-A aggregates (all
+            // exact integers, so fold order is free) and verify every
+            // effect buffer replayed to exhaustion.
+            for buf in &scratch[..polled.len()] {
+                debug_assert_eq!(buf.cursor, buf.records.len(), "unreplayed issue records");
+                let ch = &buf.charges;
+                self.act.core_active_cycles += ch.active;
+                self.act.mem_stall_cycles += ch.mem_stall;
+                self.act.dual_thread_cycles += ch.dual;
+                self.act.drafted_issues += ch.drafted;
+                self.act.l1i_accesses += ch.l1i;
+                self.act.sb_enqueues += ch.sb_enqueues;
+                for i in 0..Opcode::COUNT {
+                    self.act.issues[i] += ch.issues[i];
+                    self.act.occupancy_cycles[i] += ch.occupancy[i];
+                }
+            }
+
+            // Whole-batch duty check against the freshly-derived lane
+            // count: sustained low duty hands back to the calendar.
+            if issued_total * 8 < polled.len() as u64 * processed && self.now < end {
+                reached_end = false;
+                break 'batches;
+            }
+        }
+        self.lane_scratch = scratch;
+        reached_end
+    }
+
     /// The seed engine: polls every core every cycle, fast-forwarding
     /// only when *no* core can issue. Kept as the reference
     /// implementation the event-driven [`Machine::run`] is equivalence-
@@ -865,8 +1183,16 @@ impl Machine {
         );
         publish("event_cycles", m.event_cycles, &mut w.event_cycles);
         publish("dense_cycles", m.dense_cycles, &mut w.dense_cycles);
+        publish("batched_cycles", m.batched_cycles, &mut w.batched_cycles);
+        publish("batches", m.batches, &mut w.batches);
         publish("naive_cycles", m.naive_cycles, &mut w.naive_cycles);
         publish("handovers", m.handovers, &mut w.handovers);
+        if m.record_hwm > 0 {
+            // A watermark, not a flow: last-write-wins gauge (the
+            // registry keeps whichever machine published last; sweeps
+            // over homogeneous machines see a representative depth).
+            metrics::gauge_set(&format!("{prefix}.record_hwm"), m.record_hwm as f64);
+        }
         let duty = std::mem::take(&mut self.emetrics.issue_duty);
         if duty.count > 0 {
             metrics::histogram_merge(&format!("{prefix}.issue_duty"), &duty);
@@ -1410,12 +1736,26 @@ mod tests {
                 let modal: u64 = [
                     format!("{}.event_cycles", prefix),
                     format!("{}.dense_cycles", prefix),
+                    format!("{}.batched_cycles", prefix),
                 ]
                 .iter()
                 .filter_map(|k| snap.counters.get(k))
                 .sum();
                 prop_assert_eq!(modal, event.engine_metrics().event_cycles
-                    + event.engine_metrics().dense_cycles);
+                    + event.engine_metrics().dense_cycles
+                    + event.engine_metrics().batched_cycles);
+                // Batch accounting publishes coherently: every batched
+                // cycle belongs to a batch, and a batch implies cycles.
+                let batches = snap
+                    .counters
+                    .get(&format!("{}.batches", prefix))
+                    .copied()
+                    .unwrap_or(0);
+                prop_assert_eq!(batches, event.engine_metrics().batches);
+                prop_assert!(
+                    batches == 0 || event.engine_metrics().batched_cycles > 0,
+                    "batches without batched cycles"
+                );
                 // Re-publishing must be a no-op (watermarks consumed).
                 event.publish_metrics_as(&prefix);
                 let again = piton_obs::metrics::snapshot();

@@ -24,6 +24,18 @@
 //! | L1 miss, remote L2 hit (4 straight hops) | 42 |
 //! | L1 miss, remote L2 hit (8 hops + turns) | 52 |
 //! | L1 miss, local L2 miss | ≈ 424 (29 on-chip + ~395 off-chip) |
+//!
+//! # Mutation-order contract
+//!
+//! The memory system is a single shared mutable structure; its state
+//! (MESI lines, directory sharers, store-buffer drains) and the f64
+//! activity sums it accumulates depend on the *order* of transactions.
+//! Every engine in [`crate::machine`] must drive it in the canonical
+//! order — ascending cycle, then ascending tile index within a cycle.
+//! The batched dense engine defers core-issued transactions into
+//! per-lane effect buffers during local run-ahead and replays them here
+//! in exactly that order at the batch barrier, which is why its results
+//! stay bit-identical to the naive engine's.
 
 use piton_arch::config::{ChipConfig, SliceMapping};
 use piton_arch::topology::TileId;

@@ -14,6 +14,13 @@
 //! modelled; none of the paper's workloads saturates a NoC (see
 //! DESIGN.md).
 //!
+//! Link-switching activity is history-dependent: each physical link
+//! remembers its last flit, so the Hamming work a packet charges
+//! depends on every packet that crossed that link before it. Engines
+//! must therefore issue packets in the canonical machine order
+//! (ascending cycle, then ascending tile) — the batched dense engine's
+//! barrier replay exists to preserve exactly this ordering.
+//!
 //! # Examples
 //!
 //! ```

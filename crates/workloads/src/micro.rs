@@ -330,6 +330,8 @@ pub fn load_microbenchmark(
     tpc: ThreadsPerCore,
     length: RunLength,
 ) -> usize {
+    use std::sync::Arc;
+
     let tpc_n = tpc.count();
     let cores = threads.div_ceil(tpc_n);
     assert!(
@@ -337,13 +339,22 @@ pub fn load_microbenchmark(
         "{threads} threads at {} need {cores} cores",
         tpc.label()
     );
+    // Int and HP's compute kind are position-independent, so every
+    // thread shares one program image: one assembly pass, and the
+    // engine's pointer-identity grouping keeps same-program lanes on
+    // one worker. HP's mixed kind and Hist embed per-thread addresses
+    // and stay distinct.
+    let shared_int: Option<Arc<Program>> = match bench {
+        Microbenchmark::Int | Microbenchmark::Hp => Some(Arc::new(int_program(length))),
+        Microbenchmark::Hist => None,
+    };
     for t in 0..threads {
         let (core, slot) = match tpc {
             ThreadsPerCore::One => (t, 0),
             ThreadsPerCore::Two => (t / 2, t % 2),
         };
-        let program = match bench {
-            Microbenchmark::Int => int_program(length),
+        let shared = match bench {
+            Microbenchmark::Int => shared_int.as_ref(),
             Microbenchmark::Hp => {
                 let kind = match tpc {
                     // Alternate kinds across cores.
@@ -363,11 +374,23 @@ pub fn load_microbenchmark(
                         }
                     }
                 };
-                hp_program(kind, core, slot, length)
+                match kind {
+                    HpKind::Compute => shared_int.as_ref(),
+                    HpKind::Mixed => None,
+                }
             }
-            Microbenchmark::Hist => hist_program(t, threads, length),
+            Microbenchmark::Hist => None,
         };
-        machine.load_thread(TileId::new(core), slot, program);
+        if let Some(program) = shared {
+            machine.load_thread_shared(TileId::new(core), slot, program);
+        } else {
+            let program = match bench {
+                Microbenchmark::Hp => hp_program(HpKind::Mixed, core, slot, length),
+                Microbenchmark::Hist => hist_program(t, threads, length),
+                Microbenchmark::Int => unreachable!("Int always shares"),
+            };
+            machine.load_thread(TileId::new(core), slot, program);
+        }
     }
     cores
 }
@@ -486,6 +509,13 @@ mod tests {
         assert_eq!(cores2, 8);
         assert!(m2.core(TileId::new(7)).any_running());
         assert!(!m2.core(TileId::new(8)).any_running());
+        // Identical Int images are one shared allocation, so the dense
+        // engine's pointer-identity grouping sees one program class.
+        let id = m2.core(TileId::new(0)).program_identity();
+        assert_ne!(id, 0);
+        for c in 1..8 {
+            assert_eq!(m2.core(TileId::new(c)).program_identity(), id, "core {c}");
+        }
     }
 
     #[test]

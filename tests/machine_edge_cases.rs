@@ -163,6 +163,69 @@ fn halted_chip_fast_forwards_instantly() {
     assert_eq!(m.counters().cycles, before + 50_000_000);
 }
 
+/// A heavily-degraded die must not ping-pong engine modes: fused-off
+/// cores (the paper's Table IV 24-core parts) and cores that halt
+/// mid-run leave the dense poll set — and with it the issue-duty
+/// denominator — at the next batch barrier. Two saturated survivors
+/// among 23 dead tiles then keep the dense engine engaged for the
+/// whole run (exactly one calendar→dense handover), where an
+/// entry-fixed 25-lane denominator would read ~2/25 duty and bounce
+/// back to the calendar indefinitely. Counters stay bit-identical to
+/// the naive engine throughout.
+#[test]
+fn fused_off_and_halted_cores_leave_the_issue_duty_denominator() {
+    let saturated = || {
+        let mut asm = Assembler::new();
+        asm.movi(Reg::new(1), 0x0F0F);
+        asm.label("loop");
+        for _ in 0..16 {
+            asm.alu(Opcode::Add, Reg::new(2), Reg::new(1), Reg::new(2));
+        }
+        asm.jump("loop");
+        asm.assemble()
+    };
+    let short_lived = |len: usize| {
+        let mut asm = Assembler::new();
+        asm.movi(Reg::new(1), 3);
+        for _ in 0..len {
+            asm.alu(Opcode::Add, Reg::new(2), Reg::new(2), Reg::new(1));
+        }
+        asm.halt();
+        asm.assemble()
+    };
+    // Tiles 0..=9 fused off; 6 staggered short-lived cores halt early;
+    // tiles 12 and 24 run saturated loops forever.
+    let mask = 0x3FF;
+    let build = || {
+        let mut m = Machine::new(&ChipConfig::piton());
+        m.apply_core_mask(mask);
+        for (i, tile) in (14..20).enumerate() {
+            m.load_thread(TileId::new(tile), 0, short_lived(200 + 100 * i));
+        }
+        m.load_thread(TileId::new(12), 0, saturated());
+        m.load_thread(TileId::new(24), 0, saturated());
+        m
+    };
+    let mut event = build();
+    event.run(200_000);
+    let mut naive = build();
+    naive.run_naive(200_000);
+    assert_eq!(event.now(), naive.now());
+    assert_eq!(event.counters(), naive.counters());
+
+    let em = event.engine_metrics();
+    assert!(
+        em.batched_cycles > 0,
+        "a saturated survivor pair must engage the batched dense engine"
+    );
+    assert_eq!(
+        em.handovers, 1,
+        "survivors must hold dense mode: fused-off/halted cores may not \
+         re-inflate the issue-duty denominator (got {} handovers)",
+        em.handovers
+    );
+}
+
 #[test]
 fn store_to_same_line_from_two_tiles_ping_pongs_ownership() {
     let mut sys = MemorySystem::new(&ChipConfig::piton());

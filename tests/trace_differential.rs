@@ -22,6 +22,7 @@ use piton::obs::trace::{self, encode_jsonl, TraceSpec};
 use piton::sim::machine::{Machine, SwitchPattern};
 use piton::sim::program::Program;
 use piton::sim::testprog;
+use proptest::prelude::*;
 
 mod common;
 
@@ -156,6 +157,89 @@ fn tile_filter_narrows_the_stream() {
     });
     assert!(!events.is_empty());
     assert!(events.iter().all(|e| e.entity() == Some(6)));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every engine path must be mutually bit-identical on randomized
+    /// workloads: the naive reference, the traced scalar-dense sweep,
+    /// the batched dense engine (`dense_threads = 1`) and the
+    /// tile-parallel batched engine. Mixed programs per tile, a core
+    /// mask applied mid-run and a governed clock are all in play, and
+    /// the batch accounting (batched cycles, barrier count,
+    /// effect-buffer high-water mark) must itself be deterministic
+    /// across worker counts and consistent with the cycles driven.
+    #[test]
+    fn engines_agree_across_batched_and_tile_parallel_paths(
+        seeds in proptest::collection::vec(any::<u64>(), 1..4),
+        slots in 4usize..10,
+        workers in 2usize..4,
+        mask in 0u32..(1 << 25),
+        khz_raw in 0u64..600_000,
+        chunks in proptest::collection::vec(500u64..4_000, 2..5),
+    ) {
+        let placement = testprog::placement(&seeds, slots);
+        // Below 100 MHz the draw means "ungoverned".
+        let khz = (khz_raw >= 100_000).then_some(khz_raw);
+        let drive = |m: &mut Machine, naive: bool| {
+            for &(tile, thread, ref program) in &placement {
+                m.load_thread(TileId::new(tile), thread, program.clone());
+            }
+            m.set_governed_khz(khz);
+            for (i, &chunk) in chunks.iter().enumerate() {
+                if i == 1 {
+                    m.apply_core_mask(mask);
+                }
+                if naive {
+                    m.run_naive(chunk);
+                } else {
+                    m.run(chunk);
+                }
+            }
+        };
+        let mut naive = machine();
+        drive(&mut naive, true);
+
+        let mut batched = machine();
+        batched.set_dense_threads(1);
+        drive(&mut batched, false);
+
+        let mut parallel = machine();
+        parallel.set_dense_threads(workers);
+        drive(&mut parallel, false);
+
+        let spec = TraceSpec::parse("governor").expect("static spec");
+        let mut traced_slot = None;
+        trace::capture(&spec, || {
+            let mut m = machine();
+            drive(&mut m, false);
+            traced_slot = Some(m);
+        });
+        let traced = traced_slot.expect("traced run completed");
+
+        prop_assert_eq!(batched.now(), naive.now());
+        prop_assert_eq!(batched.counters(), naive.counters());
+        prop_assert_eq!(parallel.counters(), naive.counters());
+        prop_assert_eq!(traced.counters(), naive.counters());
+        prop_assert_eq!(batched.retired(), naive.retired());
+        prop_assert_eq!(parallel.retired(), naive.retired());
+
+        // Batch accounting: deterministic across worker counts, and
+        // the modal cycle attribution must cover the run exactly.
+        let total: u64 = chunks.iter().sum();
+        let b = batched.engine_metrics();
+        let p = parallel.engine_metrics();
+        prop_assert_eq!(b.event_cycles + b.dense_cycles + b.batched_cycles, total);
+        prop_assert_eq!(b.dense_cycles, 0); // untraced runs never take the scalar sweep
+        prop_assert_eq!(b.batched_cycles, p.batched_cycles);
+        prop_assert_eq!(b.batches, p.batches);
+        prop_assert_eq!(b.record_hwm, p.record_hwm);
+        prop_assert!(b.batches == 0 || b.batched_cycles > 0, "batches without batched cycles");
+        let t = traced.engine_metrics();
+        prop_assert_eq!(t.batched_cycles, 0); // traced runs take the scalar sweep
+        prop_assert_eq!(t.event_cycles + t.dense_cycles, total);
+    }
 }
 
 // --- Golden trace fixtures: one representative program per ---
