@@ -1,0 +1,126 @@
+//! Cooperative per-attempt deadline budgets.
+//!
+//! The sweep runner gives each grid-point attempt a wall-clock budget
+//! (`RetryPolicy::timeout` in the core crate); a wedged point should
+//! degrade into a retry or an explicit hole instead of stalling the
+//! whole campaign. Nothing in the workspace can preempt an arbitrary
+//! closure — `#![forbid(unsafe_code)]` rules out thread cancellation —
+//! so the budget is *cooperative*: the runner arms a thread-local
+//! deadline before invoking the point closure, and the long-running
+//! loops underneath it (the board's warm-up and sampling loops, the
+//! simulator's watched run loop) poll [`check`] at natural chunk
+//! boundaries. A blown budget surfaces as the transient
+//! [`PitonError::DeadlineExceeded`], which the retry machinery already
+//! knows how to handle.
+//!
+//! The deadline is per-thread, matching the runner's
+//! one-point-per-worker execution model, and is always cleared by the
+//! runner after the attempt returns — callers never observe a stale
+//! deadline from a previous point.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::time::{Duration, Instant};
+//!
+//! use piton_arch::deadline;
+//!
+//! // No deadline armed: checks always pass.
+//! assert!(deadline::check("idle loop").is_ok());
+//!
+//! // An already-expired deadline trips the next check.
+//! deadline::arm(Instant::now() - Duration::from_millis(1));
+//! assert!(deadline::exceeded());
+//! let err = deadline::check("warm-up").unwrap_err();
+//! assert!(err.is_transient());
+//! deadline::disarm();
+//! assert!(deadline::check("warm-up").is_ok());
+//! ```
+
+use std::cell::Cell;
+use std::time::Instant;
+
+use crate::error::PitonError;
+
+thread_local! {
+    static DEADLINE: Cell<Option<Instant>> = const { Cell::new(None) };
+}
+
+/// Arm this thread's deadline. Subsequent [`check`]/[`exceeded`] calls
+/// on the same thread fail once `at` has passed. Replaces any
+/// previously armed deadline.
+pub fn arm(at: Instant) {
+    DEADLINE.with(|d| d.set(Some(at)));
+}
+
+/// Clear this thread's deadline; [`check`] passes unconditionally
+/// until the next [`arm`].
+pub fn disarm() {
+    DEADLINE.with(|d| d.set(None));
+}
+
+/// Whether this thread's armed deadline (if any) has passed.
+#[must_use]
+pub fn exceeded() -> bool {
+    DEADLINE
+        .with(|d| d.get())
+        .is_some_and(|at| Instant::now() >= at)
+}
+
+/// Poll the deadline from inside a long-running loop. Returns the
+/// transient [`PitonError::DeadlineExceeded`] naming `what` once the
+/// armed deadline has passed; always `Ok` when no deadline is armed.
+pub fn check(what: &str) -> Result<(), PitonError> {
+    if exceeded() {
+        Err(PitonError::deadline(what))
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::{Duration, Instant};
+
+    use super::*;
+
+    #[test]
+    fn unarmed_thread_never_trips() {
+        disarm();
+        assert!(!exceeded());
+        assert!(check("anything").is_ok());
+    }
+
+    #[test]
+    fn expired_deadline_trips_and_disarm_recovers() {
+        arm(Instant::now() - Duration::from_millis(1));
+        assert!(exceeded());
+        let err = check("sampling loop").unwrap_err();
+        assert!(
+            matches!(err, PitonError::DeadlineExceeded { ref what } if what == "sampling loop")
+        );
+        assert!(err.is_transient());
+        disarm();
+        assert!(check("sampling loop").is_ok());
+    }
+
+    #[test]
+    fn future_deadline_passes_until_reached() {
+        arm(Instant::now() + Duration::from_secs(3600));
+        assert!(!exceeded());
+        assert!(check("warm-up").is_ok());
+        disarm();
+    }
+
+    #[test]
+    fn deadlines_are_thread_local() {
+        arm(Instant::now() - Duration::from_millis(1));
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                assert!(!exceeded());
+                assert!(check("other thread").is_ok());
+            });
+        });
+        disarm();
+    }
+}

@@ -84,6 +84,20 @@ pub enum PitonError {
         /// What was wrong with it.
         what: String,
     },
+    /// A machine-readable artifact (run manifest, journal record,
+    /// trace line) failed to decode — truncated, torn, or garbage
+    /// input. Never transient: re-reading the same bytes cannot help.
+    Codec {
+        /// What failed to decode and why.
+        what: String,
+    },
+    /// A grid point exceeded its per-attempt deadline budget (see the
+    /// runner's `RetryPolicy::timeout`) — transient, since a retry gets
+    /// a fresh budget.
+    DeadlineExceeded {
+        /// What was being computed when the budget ran out.
+        what: String,
+    },
 }
 
 impl PitonError {
@@ -99,12 +113,29 @@ impl PitonError {
         PitonError::Injected { what: what.into() }
     }
 
+    /// Shorthand for a decode failure on a machine-readable artifact.
+    #[must_use]
+    pub fn codec(what: impl Into<String>) -> Self {
+        PitonError::Codec { what: what.into() }
+    }
+
+    /// Shorthand for a blown per-attempt deadline budget.
+    #[must_use]
+    pub fn deadline(what: impl Into<String>) -> Self {
+        PitonError::DeadlineExceeded { what: what.into() }
+    }
+
     /// Whether a retry (with a fresh per-point seed) can plausibly
     /// succeed. The sweep runner only re-runs grid points whose failure
     /// is transient.
     #[must_use]
     pub fn is_transient(&self) -> bool {
-        matches!(self, PitonError::Transient { .. } | PitonError::Hang { .. })
+        matches!(
+            self,
+            PitonError::Transient { .. }
+                | PitonError::Hang { .. }
+                | PitonError::DeadlineExceeded { .. }
+        )
     }
 }
 
@@ -125,6 +156,10 @@ impl std::fmt::Display for PitonError {
             PitonError::Hang { detail } => write!(f, "machine hang: {detail}"),
             PitonError::Disabled { what } => write!(f, "disabled resource: {what}"),
             PitonError::BadPlan { what } => write!(f, "bad fault plan: {what}"),
+            PitonError::Codec { what } => write!(f, "codec error: {what}"),
+            PitonError::DeadlineExceeded { what } => {
+                write!(f, "deadline exceeded: {what}")
+            }
         }
     }
 }
@@ -139,7 +174,9 @@ mod tests {
     fn transience_classification() {
         assert!(PitonError::transient("x").is_transient());
         assert!(PitonError::Hang { detail: "y".into() }.is_transient());
+        assert!(PitonError::deadline("warm-up").is_transient());
         assert!(!PitonError::injected("x").is_transient());
+        assert!(!PitonError::codec("torn record").is_transient());
         assert!(!PitonError::EmptyWindow { context: "idle" }.is_transient());
         assert!(!PitonError::SeedNotFound { lo: 0, hi: 9 }.is_transient());
     }

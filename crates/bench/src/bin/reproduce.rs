@@ -30,6 +30,20 @@
 //! the closed-loop Figure 9/18 reproductions and the energy-frontier
 //! race, and records the policy in the run manifest.
 //!
+//! Durable runs (see `piton_core::journal`): `--journal PATH` (or
+//! `PITON_JOURNAL`) appends every completed grid point of the
+//! journaled sweep sections (`epi`, `noc`, `scaling`) to a write-ahead
+//! `piton-journal/v1` file, fsync'd at sweep boundaries. Adding
+//! `--resume` serves completed points from an existing journal and
+//! recomputes only the missing ones — the stdout, tables and
+//! deterministic manifest projection are byte-identical to an
+//! uninterrupted run at any `--jobs` level. Torn or truncated trailing
+//! records are detected by checksum, discarded and recomputed, never
+//! trusted. Deterministic crash injection for the recovery harness:
+//! a `crash=SECTION:IDX` fault-plan entry hard-aborts the process when
+//! that grid point completes, strictly *after* its record is durably
+//! on disk.
+//!
 //! Observability (see `piton_obs`): `--trace SPEC` (or `PITON_TRACE`)
 //! streams structured simulator events to a JSONL file — spec grammar
 //! in `piton_obs::trace::TraceSpec` — and every invocation writes a
@@ -46,12 +60,14 @@ use piton_core::experiments::{
     ablations, area, core_scaling, epi, governor, mem_latency, memory_energy, mt_vs_mc, noc_energy,
     specint, static_idle, thermal, vf_sweep, yield_stats, Fidelity,
 };
+use piton_core::journal;
 use piton_core::report::Hole;
 use piton_core::runner;
 use piton_core::GovernorConfig;
 use piton_obs::manifest::{HoleRecord, RunManifest, SectionRecord};
 use piton_obs::metrics;
 use piton_obs::trace::{self, TraceSpec};
+use piton_sim::watchdog;
 
 /// Wall/busy timing of one reproduced section.
 struct SectionTiming {
@@ -189,6 +205,46 @@ fn parse_manifest_path() -> String {
         .unwrap_or_else(|| "piton-run-manifest.json".to_owned())
 }
 
+/// Resolves the result-journal path from `--journal=PATH` /
+/// `--journal PATH` or `PITON_JOURNAL`, plus whether `--resume` was
+/// requested. `--resume` without a journal path exits 2: there is
+/// nothing to resume from.
+fn parse_journal() -> (Option<String>, bool) {
+    let args: Vec<String> = std::env::args().collect();
+    let path = args
+        .iter()
+        .enumerate()
+        .find_map(|(i, a)| {
+            a.strip_prefix("--journal=").map(str::to_owned).or_else(|| {
+                (a == "--journal")
+                    .then(|| args.get(i + 1).cloned())
+                    .flatten()
+            })
+        })
+        .or_else(|| std::env::var("PITON_JOURNAL").ok());
+    let resume = args.iter().any(|a| a == "--resume");
+    if resume && path.is_none() {
+        eprintln!("reproduce: --resume requires --journal PATH (or PITON_JOURNAL)");
+        std::process::exit(2);
+    }
+    (path, resume)
+}
+
+/// The journal context spec: everything a served result must agree on
+/// — code version, fidelity and the result-affecting fault effects.
+/// `--jobs` is deliberately excluded (results are jobs-invariant), as
+/// are crash points (they decide when the process dies, never what it
+/// computes).
+fn journal_context(quick: bool, plan: Option<&FaultPlan>) -> String {
+    format!(
+        "piton/{}|fidelity={}|effects={}",
+        env!("CARGO_PKG_VERSION"),
+        if quick { "quick" } else { "full" },
+        plan.and_then(FaultPlan::render_effects)
+            .unwrap_or_else(|| "none".to_owned())
+    )
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "quick");
     let jobs = parse_jobs();
@@ -196,9 +252,17 @@ fn main() {
     let fault_plan = parse_fault_plan();
     let trace_spec = parse_trace_spec();
     let manifest_path = parse_manifest_path();
+    let (journal_path, resume) = parse_journal();
     // The registry only accumulates (and is drained into the run
     // manifest); nothing printed to stdout depends on it.
     metrics::enable();
+    // Record the effective watchdog knobs so an archived run is
+    // attributable to its hang-detection configuration.
+    #[allow(clippy::cast_precision_loss)]
+    {
+        metrics::gauge_set("watchdog.chunk_cycles", watchdog::chunk_cycles() as f64);
+        metrics::gauge_set("watchdog.limit_cycles", watchdog::limit_cycles() as f64);
+    }
     if let Some(spec) = &trace_spec {
         trace::install_sink(&spec.out);
         trace::set_worker_spec(Some(spec.clone()));
@@ -224,6 +288,33 @@ fn main() {
     if let Some(plan) = &fault_plan {
         fidelity = fidelity.with_fault(fault::register(plan.clone()));
     }
+    let journal_token = journal_path.as_ref().map(|path| {
+        let context = journal_context(quick, fault_plan.as_ref());
+        if !resume {
+            // A fresh durable run starts from a clean slate; only
+            // `--resume` trusts (and recovers) an existing journal.
+            let _ = std::fs::remove_file(path);
+        }
+        match journal::Journal::open(std::path::Path::new(path), &context) {
+            Ok(j) => {
+                let s = j.stats();
+                eprintln!(
+                    "reproduce: journal {path}: {} point(s) recovered, {} torn byte(s) discarded{}",
+                    s.recovered,
+                    s.torn,
+                    if resume { " (resuming)" } else { "" }
+                );
+                journal::register(j)
+            }
+            Err(e) => {
+                eprintln!("reproduce: {e}");
+                std::process::exit(2);
+            }
+        }
+    });
+    if let Some(token) = journal_token {
+        fidelity = fidelity.with_journal(token);
+    }
     eprintln!(
         "reproduce: {} fidelity, {jobs} sweep worker(s)",
         if quick { "quick" } else { "full" }
@@ -233,12 +324,13 @@ fn main() {
     }
     if let Some(plan) = &fault_plan {
         eprintln!(
-            "reproduce: fault plan active (seed {}, drop {}, stuck {}, glitch {}, {} sabotage(s))",
+            "reproduce: fault plan active (seed {}, drop {}, stuck {}, glitch {}, {} sabotage(s), {} crash point(s))",
             plan.seed,
             plan.drop_rate,
             plan.stuck_rate,
             plan.glitch_rate,
-            plan.sabotage.len()
+            plan.sabotage.len(),
+            plan.crash.len()
         );
     }
 
@@ -409,12 +501,30 @@ fn main() {
         }
     }
 
+    // Drain the journal accounting into the metrics registry (before
+    // the snapshot below) and the manifest's journal block.
+    let journal_stats = journal_token.map(|token| {
+        let shared = journal::resolve(token);
+        let stats = shared.lock().expect("journal lock").stats();
+        metrics::counter_add("journal.served", stats.served);
+        metrics::counter_add("journal.appended", stats.appended);
+        metrics::counter_add("journal.recovered", stats.recovered);
+        metrics::counter_add("journal.torn", stats.torn);
+        eprintln!(
+            "reproduce: journal: {} served, {} appended, {} recovered, {} torn byte(s)",
+            stats.served, stats.appended, stats.recovered, stats.torn
+        );
+        stats
+    });
+
     // Emit the run manifest: section timings, sweep holes and the full
     // metrics-registry snapshot.
     let manifest = RunManifest {
         fidelity: if quick { "quick" } else { "full" }.to_owned(),
         jobs,
         fault_plan: fault_plan.as_ref().map(FaultPlan::render),
+        fault_effects: fault_plan.as_ref().and_then(FaultPlan::render_effects),
+        journal: journal_stats,
         governor: (!governor_policy.is_off()).then(|| governor_policy.label().to_owned()),
         total_wall_s: total.as_secs_f64(),
         sections: timings

@@ -23,6 +23,7 @@ pub fn bench_fidelity() -> Fidelity {
         jobs: 1,
         fault: None,
         governor: piton_core::GovernorConfig::Off,
+        journal: None,
     }
 }
 

@@ -1,0 +1,203 @@
+//! Supervisor harness for the durable-sweep contract: a `reproduce`
+//! child is killed mid-sweep — by an injected `crash=` abort and by an
+//! external wall-clock SIGKILL — and relaunched with `--resume`. In
+//! every scenario (including a hand-torn journal tail) the resumed
+//! run's stdout and deterministic manifest projection must be
+//! **byte-identical** to an uninterrupted, journal-free golden run.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+use std::time::{Duration, Instant};
+
+use piton_obs::manifest::RunManifest;
+
+const BIN: &str = env!("CARGO_BIN_EXE_reproduce");
+
+fn tmp(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("piton-crash-resume-{tag}-{}", std::process::id()))
+}
+
+/// Runs the quick reproduction with extra args, capturing everything.
+fn reproduce(jobs: &str, extra: &[&str]) -> Output {
+    Command::new(BIN)
+        .args(["quick", "--jobs", jobs])
+        .args(extra)
+        .output()
+        .expect("spawn reproduce")
+}
+
+fn deterministic_projection(manifest_path: &Path) -> String {
+    let doc = std::fs::read_to_string(manifest_path).expect("read manifest");
+    RunManifest::from_json(&doc)
+        .expect("parse manifest")
+        .deterministic_json()
+}
+
+fn stderr_text(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn crash_sigkill_and_torn_tail_all_resume_byte_identically() {
+    let journal = tmp("journal");
+    let golden_manifest = tmp("golden.json");
+    let _ = std::fs::remove_file(&journal);
+
+    // The golden: uninterrupted, journal-free, jobs=4.
+    let golden = reproduce("4", &["--metrics", golden_manifest.to_str().unwrap()]);
+    assert!(golden.status.success(), "{}", stderr_text(&golden));
+    let golden_projection = deterministic_projection(&golden_manifest);
+
+    // Scenario 1 — injected crash: `crash=scaling:20` hard-aborts the
+    // child when that grid point completes, strictly after its record
+    // is durably journaled.
+    let crash = reproduce(
+        "4",
+        &[
+            "--journal",
+            journal.to_str().unwrap(),
+            "--fault-plan=crash=scaling:20",
+        ],
+    );
+    assert!(
+        !crash.status.success(),
+        "the crash run must die, got {:?}",
+        crash.status
+    );
+    assert!(
+        stderr_text(&crash).contains("injected crash at scaling:20"),
+        "{}",
+        stderr_text(&crash)
+    );
+
+    // Resume with the *same* plan: scaling:20 is served from the
+    // journal, so the crash point is never recomputed and never
+    // re-fires — the run completes and matches the golden exactly.
+    let resume_manifest = tmp("resume.json");
+    let resume = reproduce(
+        "1",
+        &[
+            "--journal",
+            journal.to_str().unwrap(),
+            "--resume",
+            "--fault-plan=crash=scaling:20",
+            "--metrics",
+            resume_manifest.to_str().unwrap(),
+        ],
+    );
+    assert!(resume.status.success(), "{}", stderr_text(&resume));
+    assert!(stderr_text(&resume).contains("(resuming)"));
+    assert_eq!(
+        golden.stdout, resume.stdout,
+        "crash/resume stdout must be byte-identical to the golden"
+    );
+    assert_eq!(
+        golden_projection,
+        deterministic_projection(&resume_manifest),
+        "deterministic manifest projections must match"
+    );
+
+    // Scenario 2 — torn tail: chop bytes off the now-complete journal
+    // (a crash mid-append leaves exactly this) and resume at another
+    // jobs level. The torn record is discarded and recomputed.
+    let bytes = std::fs::read(&journal).unwrap();
+    std::fs::write(&journal, &bytes[..bytes.len() - 23]).unwrap();
+    let torn_manifest = tmp("torn.json");
+    let torn = reproduce(
+        "4",
+        &[
+            "--journal",
+            journal.to_str().unwrap(),
+            "--resume",
+            "--metrics",
+            torn_manifest.to_str().unwrap(),
+        ],
+    );
+    assert!(torn.status.success(), "{}", stderr_text(&torn));
+    assert!(
+        stderr_text(&torn).contains("torn byte(s) discarded"),
+        "{}",
+        stderr_text(&torn)
+    );
+    assert_eq!(
+        golden.stdout, torn.stdout,
+        "torn-tail resume stdout must be byte-identical to the golden"
+    );
+    assert_eq!(golden_projection, deterministic_projection(&torn_manifest));
+    let torn_stats = RunManifest::from_json(&std::fs::read_to_string(&torn_manifest).unwrap())
+        .unwrap()
+        .journal
+        .expect("durable run records journal stats");
+    assert!(
+        torn_stats.torn > 0,
+        "the tear must be detected: {torn_stats:?}"
+    );
+    assert_eq!(
+        torn_stats.appended, 1,
+        "exactly the torn record is recomputed: {torn_stats:?}"
+    );
+
+    // Scenario 3 — external SIGKILL at a wall-clock instant: spawn a
+    // fresh durable run, wait until the journal shows mid-sweep
+    // progress, kill it dead, and resume.
+    let _ = std::fs::remove_file(&journal);
+    let mut child = Command::new(BIN)
+        .args([
+            "quick",
+            "--jobs",
+            "4",
+            "--journal",
+            journal.to_str().unwrap(),
+        ])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn reproduce child");
+    let t0 = Instant::now();
+    while std::fs::metadata(&journal).map_or(0, |m| m.len()) < 3_000 {
+        assert!(
+            t0.elapsed() < Duration::from_secs(300),
+            "child never reached mid-sweep progress"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    child.kill().expect("SIGKILL the child");
+    let _ = child.wait();
+
+    let killed_manifest = tmp("killed.json");
+    let resumed = reproduce(
+        "4",
+        &[
+            "--journal",
+            journal.to_str().unwrap(),
+            "--resume",
+            "--metrics",
+            killed_manifest.to_str().unwrap(),
+        ],
+    );
+    assert!(resumed.status.success(), "{}", stderr_text(&resumed));
+    assert_eq!(
+        golden.stdout, resumed.stdout,
+        "post-SIGKILL resume stdout must be byte-identical to the golden"
+    );
+    assert_eq!(
+        golden_projection,
+        deterministic_projection(&killed_manifest)
+    );
+    let stats = RunManifest::from_json(&std::fs::read_to_string(&killed_manifest).unwrap())
+        .unwrap()
+        .journal
+        .expect("durable run records journal stats");
+    assert!(stats.served > 0, "the kill landed after appends: {stats:?}");
+    assert!(stats.appended > 0, "the kill landed mid-sweep: {stats:?}");
+
+    for p in [
+        journal,
+        golden_manifest,
+        resume_manifest,
+        torn_manifest,
+        killed_manifest,
+    ] {
+        let _ = std::fs::remove_file(p);
+    }
+}

@@ -95,6 +95,23 @@ pub struct Sabotage {
     pub kind: SabotageKind,
 }
 
+/// A deterministic process-kill point: the process hard-aborts right
+/// after the named grid point completes (and, when a result journal is
+/// active, after its record is durably on disk). Exercises the
+/// crash/resume path end to end.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrashPoint {
+    /// Sweep section tag (e.g. `"epi"`, `"noc"`, `"scaling"`).
+    pub section: String,
+    /// Grid-point index within that sweep.
+    pub index: usize,
+}
+
+/// Sweep sections that sabotage and crash entries may name. Grid-point
+/// faults only make sense on sections that run through the fault-aware
+/// sweep runner; a typo'd section would otherwise no-op silently.
+pub const KNOWN_SECTIONS: &[&str] = &["epi", "noc", "scaling"];
+
 /// A complete, deterministic fault-injection plan.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FaultPlan {
@@ -110,6 +127,8 @@ pub struct FaultPlan {
     pub brownout: Option<Brownout>,
     /// Sweep grid points to sabotage.
     pub sabotage: Vec<Sabotage>,
+    /// Grid points after which the process hard-aborts.
+    pub crash: Vec<CrashPoint>,
 }
 
 impl FaultPlan {
@@ -124,6 +143,7 @@ impl FaultPlan {
             glitch_rate: 0.02,
             brownout: None,
             sabotage: Vec::new(),
+            crash: Vec::new(),
         }
     }
 
@@ -133,12 +153,29 @@ impl FaultPlan {
         self.drop_rate > 0.0 || self.stuck_rate > 0.0 || self.glitch_rate > 0.0
     }
 
+    /// Whether the plan changes any measured value or sweep result.
+    /// Crash points are deliberately *not* effects: they only decide
+    /// when the process dies, never what it computes, so a crash-only
+    /// plan must produce output byte-identical to no plan at all.
+    #[must_use]
+    pub fn has_effects(&self) -> bool {
+        self.has_monitor_faults() || self.brownout.is_some() || !self.sabotage.is_empty()
+    }
+
     /// The sabotage entry for a grid point, if any.
     #[must_use]
     pub fn sabotage_for(&self, section: &str, index: usize) -> Option<&Sabotage> {
         self.sabotage
             .iter()
             .find(|s| s.section == section && s.index == index)
+    }
+
+    /// Whether the process should hard-abort after this grid point.
+    #[must_use]
+    pub fn crash_for(&self, section: &str, index: usize) -> bool {
+        self.crash
+            .iter()
+            .any(|c| c.section == section && c.index == index)
     }
 
     /// Parses the `--fault-plan` / `PITON_FAULT_PLAN` spec: a
@@ -153,6 +190,10 @@ impl FaultPlan {
     /// | `brownout` | `START+LEN@FACTOR` | supply sag window |
     /// | `kill` | `SECTION:IDX` | grid point that panics |
     /// | `flaky` | `SECTION:IDX[@N]` | point failing its first N (default 2) attempts |
+    /// | `crash` | `SECTION:IDX` | process hard-aborts after the point completes |
+    ///
+    /// `SECTION` must be one of [`KNOWN_SECTIONS`]; a typo'd section is
+    /// rejected at parse time instead of silently no-opping.
     ///
     /// # Errors
     ///
@@ -165,6 +206,7 @@ impl FaultPlan {
             glitch_rate: 0.0,
             brownout: None,
             sabotage: Vec::new(),
+            crash: Vec::new(),
         };
         let bad = |entry: &str, why: &str| PitonError::BadPlan {
             what: format!("{entry:?}: {why}"),
@@ -202,10 +244,23 @@ impl FaultPlan {
                         factor: rate(factor)?,
                     });
                 }
-                "kill" | "flaky" => {
+                "kill" | "flaky" | "crash" => {
                     let (section, rest) = value
                         .split_once(':')
                         .ok_or_else(|| bad(entry, "expected SECTION:IDX"))?;
+                    if !KNOWN_SECTIONS.contains(&section) {
+                        return Err(bad(
+                            entry,
+                            &format!("unknown section {section:?} (known: {KNOWN_SECTIONS:?})"),
+                        ));
+                    }
+                    if key == "crash" {
+                        plan.crash.push(CrashPoint {
+                            section: section.to_owned(),
+                            index: rest.parse().map_err(|_| bad(entry, "bad point index"))?,
+                        });
+                        continue;
+                    }
                     let (idx, attempts) = match rest.split_once('@') {
                         Some((i, n)) => (
                             i,
@@ -261,7 +316,27 @@ impl FaultPlan {
                 }
             });
         }
+        for c in &self.crash {
+            parts.push(format!("crash={}:{}", c.section, c.index));
+        }
         parts.join(",")
+    }
+
+    /// Renders only the plan entries that change measured values —
+    /// crash points are omitted (they never affect a result, see
+    /// [`FaultPlan::has_effects`]), and a plan with no effects
+    /// normalizes to `None`. Two runs whose `render_effects` agree must
+    /// produce byte-identical results, which is exactly the contract
+    /// the result journal and the deterministic manifest projection
+    /// key on.
+    #[must_use]
+    pub fn render_effects(&self) -> Option<String> {
+        if !self.has_effects() {
+            return None;
+        }
+        let mut stripped = self.clone();
+        stripped.crash.clear();
+        Some(stripped.render())
     }
 }
 
@@ -428,10 +503,52 @@ mod tests {
             "brownout=40@0.9",
             "kill=epi",
             "seed=abc",
+            "crash=epi",
+            "crash=epi:x",
         ] {
             let e = FaultPlan::parse(bad).unwrap_err();
             assert!(matches!(e, PitonError::BadPlan { .. }), "{bad} gave {e:?}");
         }
+    }
+
+    #[test]
+    fn parse_rejects_unknown_sections_naming_the_token() {
+        for bad in ["kill=epy:3", "flaky=nock:5", "crash=scalin:0"] {
+            let e = FaultPlan::parse(bad).unwrap_err();
+            let msg = e.to_string();
+            assert!(matches!(e, PitonError::BadPlan { .. }), "{bad} gave {e:?}");
+            assert!(msg.contains(bad), "{msg:?} should name the token {bad:?}");
+            assert!(msg.contains("unknown section"), "{msg:?}");
+        }
+        // All known sections are accepted by every grid-point key.
+        for section in KNOWN_SECTIONS {
+            for key in ["kill", "flaky", "crash"] {
+                FaultPlan::parse(&format!("{key}={section}:0")).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn crash_points_round_trip_and_are_not_effects() {
+        let p = FaultPlan::parse("crash=noc:7,crash=epi:0").unwrap();
+        assert!(p.crash_for("noc", 7) && p.crash_for("epi", 0));
+        assert!(!p.crash_for("noc", 8) && !p.crash_for("scaling", 7));
+        assert_eq!(FaultPlan::parse(&p.render()).unwrap(), p);
+        // Crash-only plans have no effects: byte-identical results.
+        assert!(!p.has_effects());
+        assert_eq!(p.render_effects(), None);
+        // Mixed plans keep their effects but shed the crash entries.
+        let mixed = FaultPlan::parse("seed=3,drop=0.1,kill=epi:2,crash=noc:1").unwrap();
+        assert!(mixed.has_effects());
+        let effects = mixed.render_effects().unwrap();
+        assert_eq!(effects, "seed=3,drop=0.1,kill=epi:2");
+        assert_eq!(
+            FaultPlan::parse(&effects)
+                .unwrap()
+                .render_effects()
+                .unwrap(),
+            effects,
+        );
     }
 
     #[test]

@@ -335,9 +335,24 @@ impl PitonSystem {
     /// Runs the machine for `cycles` without measuring (reaching the
     /// steady state the paper requires before sampling), settling the
     /// thermal state to the resulting power.
+    ///
+    /// Cooperates with the runner's per-attempt deadline budget
+    /// (`piton_arch::deadline`): once the budget is blown the warm-up
+    /// stops early — the subsequent measurement call then fails the
+    /// deadline check, so the point degrades into a retry or a hole
+    /// instead of stalling the sweep. Without an armed deadline the
+    /// chunked run is cycle-for-cycle identical to a single run call.
     pub fn warm_up(&mut self, cycles: u64) {
         let before = self.machine.counters().clone();
-        self.machine.run(cycles);
+        let mut remaining = cycles;
+        while remaining > 0 {
+            if piton_arch::deadline::exceeded() {
+                break;
+            }
+            let step = remaining.min(1_000);
+            self.machine.run(step);
+            remaining -= step;
+        }
         let delta = self.machine.counters().delta_since(&before);
         // Settle at the leakage-aware fixed point: power depends on
         // junction temperature, which depends on power.
@@ -378,7 +393,8 @@ impl PitonSystem {
     /// # Errors
     ///
     /// [`PitonError::EmptyWindow`] if every sample of some rail was
-    /// dropped.
+    /// dropped, or the transient [`PitonError::DeadlineExceeded`] if
+    /// the runner's per-attempt budget expires mid-window.
     pub fn try_measure(&mut self, samples: usize) -> Result<RailMeasurement, PitonError> {
         let dt = Seconds(window_duration(samples).0 / samples as f64);
         let mut w_vdd = MeasurementWindow::new();
@@ -392,6 +408,7 @@ impl PitonSystem {
             .is_some_and(|p| p.has_monitor_faults() || p.brownout.is_some());
         let brownout = self.fault.as_ref().and_then(|p| p.brownout);
         for i in 0..samples {
+            piton_arch::deadline::check("measurement window")?;
             let p = match brownout.filter(|b| b.covers(i)) {
                 Some(b) => self.chunk_power_browned(b.factor),
                 None => self.chunk_power(),

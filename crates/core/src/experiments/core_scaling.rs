@@ -98,10 +98,13 @@ pub fn run_with_cores(core_counts: &[usize], fidelity: Fidelity) -> CoreScalingR
                 .flat_map(move |tpc| core_counts.iter().map(move |&c| (bench, tpc, c)))
         })
         .collect();
-    let watts = runner::try_sweep(
+    let watts = runner::try_sweep_journaled(
         fidelity.jobs,
         grid.clone(),
         runner::RetryPolicy::default(),
+        "scaling",
+        plan.as_ref(),
+        fidelity.journal,
         |index, &(bench, tpc, cores), attempt| {
             if let Some(plan) = &plan {
                 fault::sabotage_gate(plan, "scaling", index, attempt)?;

@@ -154,10 +154,13 @@ pub fn run_cases(cases: &[EpiCase], fidelity: Fidelity) -> EpiResult {
             patterns.iter().map(move |&p| (case, p))
         })
         .collect();
-    let measured = runner::try_sweep(
+    let measured = runner::try_sweep_journaled(
         fidelity.jobs,
         grid.clone(),
         runner::RetryPolicy::default(),
+        "epi",
+        plan.as_ref(),
+        fidelity.journal,
         |index, &(case, pattern), attempt| {
             if let Some(plan) = &plan {
                 fault::sabotage_gate(plan, "epi", index, attempt)?;

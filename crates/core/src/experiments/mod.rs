@@ -41,6 +41,8 @@ use piton_board::fault::FaultToken;
 use piton_power::governor::GovernorConfig;
 use serde::{Deserialize, Serialize};
 
+use crate::journal::JournalToken;
+
 /// Measurement effort knob: how many monitor samples back each reported
 /// number and how many simulated cycles back each sample.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -66,6 +68,12 @@ pub struct Fidelity {
     /// builds before the governor existed; any other policy enables the
     /// `governor` experiment family's closed-loop sections.
     pub governor: GovernorConfig,
+    /// Registered write-ahead result journal, if any (see
+    /// [`crate::journal`]). Journaled sweep sections serve completed
+    /// points from it and append fresh ones, making the run durable
+    /// and `--resume`-able; `None` runs the historical in-memory path,
+    /// byte-identical to builds before journaling existed.
+    pub journal: Option<JournalToken>,
 }
 
 impl Fidelity {
@@ -79,6 +87,7 @@ impl Fidelity {
             jobs: 1,
             fault: None,
             governor: GovernorConfig::Off,
+            journal: None,
         }
     }
 
@@ -92,6 +101,7 @@ impl Fidelity {
             jobs: 1,
             fault: None,
             governor: GovernorConfig::Off,
+            journal: None,
         }
     }
 
@@ -114,6 +124,14 @@ impl Fidelity {
     #[must_use]
     pub fn with_governor(mut self, governor: GovernorConfig) -> Self {
         self.governor = governor;
+        self
+    }
+
+    /// Same fidelity with a registered write-ahead result journal
+    /// backing every journaled sweep section.
+    #[must_use]
+    pub fn with_journal(mut self, token: JournalToken) -> Self {
+        self.journal = Some(token);
         self
     }
 }

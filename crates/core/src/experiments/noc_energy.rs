@@ -98,10 +98,13 @@ pub fn run(fidelity: Fidelity) -> NocEnergyResult {
         .enumerate()
         .flat_map(|(i, pattern)| (0..=8usize).map(move |hops| (i, pattern, hops)))
         .collect();
-    let powers = runner::try_sweep(
+    let powers = runner::try_sweep_journaled(
         fidelity.jobs,
         grid,
         runner::RetryPolicy::default(),
+        "noc",
+        plan.as_ref(),
+        fidelity.journal,
         |index, &(i, pattern, hops), attempt| {
             if let Some(plan) = &plan {
                 fault::sabotage_gate(plan, "noc", index, attempt)?;

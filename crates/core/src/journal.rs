@@ -1,0 +1,635 @@
+//! Write-ahead, content-addressed result journal — the durability
+//! layer under `runner::try_sweep_journaled`.
+//!
+//! The paper's characterization campaign is days of measurement across
+//! thousands of grid points; a killed process used to throw away every
+//! completed point. A [`Journal`] makes sweep results durable: every
+//! completed grid point is appended to a `piton-journal/v1` file as a
+//! self-checksummed record *before* the run proceeds, so a crashed run
+//! relaunched with `--resume` serves completed points from disk and
+//! recomputes only the missing ones. Because every sweep is already
+//! byte-deterministic at any `--jobs` level, a resumed run's output is
+//! **byte-identical** to an uninterrupted one.
+//!
+//! # File format (`piton-journal/v1`)
+//!
+//! One line per entry, each framed as
+//! `<16-hex FNV-1a-64 of the JSON bytes> <compact JSON>\n`:
+//!
+//! ```text
+//! f33c08cbdbd51271 {"schema":"piton-journal/v1","context":"<context spec>"}
+//! 68b329da9893e340 {"key":1234,"section":"epi","index":0,"payload":{...}}
+//! ...
+//! ```
+//!
+//! The header pins the *context* — experiment fidelity, fault-plan
+//! effects, governor, code version — and every record's `key` is the
+//! 64-bit content hash of (section, index, context), so a journal can
+//! never leak results into a run configured differently. `--jobs` is
+//! deliberately **not** part of the context: results are
+//! jobs-invariant, so a journal written at `--jobs 4` serves a
+//! `--jobs 1` resume.
+//!
+//! # Torn-write recovery
+//!
+//! Recovery trusts exactly the longest valid prefix: the first line
+//! that fails its checksum, fails to parse, carries a foreign key, or
+//! lacks its trailing newline marks the torn tail, which is truncated
+//! off (and counted in [`JournalStats::torn`]) — torn records are
+//! *recomputed, never trusted*. Appends are batched and fsync'd at
+//! sweep boundaries, plus immediately before an injected `crash=`
+//! abort so the crashed point itself survives.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use piton_arch::error::PitonError;
+use piton_arch::units::Watts;
+use piton_obs::json::{self, ObjectBuilder, Value};
+use piton_obs::manifest::JournalStats;
+use serde::{Deserialize, Serialize};
+
+use crate::measure::WithError;
+
+/// The schema identifier in every journal header.
+pub const JOURNAL_SCHEMA: &str = "piton-journal/v1";
+
+/// FNV-1a 64-bit hash — the checksum framing every journal line and
+/// the content hash behind every record key.
+#[must_use]
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The content-addressed key of one grid point under one context.
+#[must_use]
+pub fn point_key(context: &str, section: &str, index: usize) -> u64 {
+    let mut buf = Vec::with_capacity(context.len() + section.len() + 24);
+    buf.extend_from_slice(section.as_bytes());
+    buf.push(0x1f);
+    buf.extend_from_slice(index.to_string().as_bytes());
+    buf.push(0x1f);
+    buf.extend_from_slice(context.as_bytes());
+    fnv64(&buf)
+}
+
+/// A sweep result that can ride in a journal record. Implementations
+/// must round-trip *exactly* (the JSON writer renders `f64` in
+/// shortest-round-trip form, so bit-exactness holds for finite values
+/// and the tagged string forms cover the rest).
+pub trait JournalPayload: Sized {
+    /// Encodes the payload as a JSON value.
+    fn to_value(&self) -> Value;
+    /// Decodes a payload encoded by [`JournalPayload::to_value`].
+    ///
+    /// # Errors
+    ///
+    /// [`PitonError::Codec`] when the value has the wrong shape.
+    fn from_value(v: &Value) -> Result<Self, PitonError>;
+}
+
+fn f64_to_value(v: f64) -> Value {
+    // `Value::Float` renders NaN/inf as tagged strings already; keep
+    // the payload total by accepting them back below.
+    Value::Float(v)
+}
+
+fn f64_from_value(v: &Value) -> Result<f64, PitonError> {
+    match v {
+        Value::Float(f) => Ok(*f),
+        #[allow(clippy::cast_precision_loss)]
+        Value::Int(i) => Ok(*i as f64),
+        Value::Str(s) => match s.as_str() {
+            "NaN" => Ok(f64::NAN),
+            "inf" => Ok(f64::INFINITY),
+            "-inf" => Ok(f64::NEG_INFINITY),
+            _ => Err(PitonError::codec(format!("non-numeric payload {s:?}"))),
+        },
+        other => Err(PitonError::codec(format!(
+            "expected a number payload, got {other:?}"
+        ))),
+    }
+}
+
+impl JournalPayload for f64 {
+    fn to_value(&self) -> Value {
+        f64_to_value(*self)
+    }
+
+    fn from_value(v: &Value) -> Result<Self, PitonError> {
+        f64_from_value(v)
+    }
+}
+
+impl JournalPayload for Watts {
+    fn to_value(&self) -> Value {
+        f64_to_value(self.0)
+    }
+
+    fn from_value(v: &Value) -> Result<Self, PitonError> {
+        f64_from_value(v).map(Watts)
+    }
+}
+
+impl JournalPayload for WithError {
+    fn to_value(&self) -> Value {
+        ObjectBuilder::new()
+            .field("v", f64_to_value(self.value))
+            .field("e", f64_to_value(self.error))
+            .build()
+    }
+
+    fn from_value(v: &Value) -> Result<Self, PitonError> {
+        Ok(WithError {
+            value: f64_from_value(
+                v.get("v")
+                    .ok_or_else(|| PitonError::codec("payload missing 'v'"))?,
+            )?,
+            error: f64_from_value(
+                v.get("e")
+                    .ok_or_else(|| PitonError::codec("payload missing 'e'"))?,
+            )?,
+        })
+    }
+}
+
+/// One checksummed journal line (no trailing newline).
+fn frame(json: &str) -> String {
+    format!("{:016x} {json}", fnv64(json.as_bytes()))
+}
+
+/// Splits a framed line into its verified JSON text. `None` for any
+/// framing violation: missing separator, non-hex checksum, mismatch.
+fn unframe(line: &[u8]) -> Option<&str> {
+    if line.len() < 18 || line[16] != b' ' {
+        return None;
+    }
+    let sum = std::str::from_utf8(&line[..16]).ok()?;
+    let sum = u64::from_str_radix(sum, 16).ok()?;
+    let json = &line[17..];
+    if fnv64(json) != sum {
+        return None;
+    }
+    std::str::from_utf8(json).ok()
+}
+
+/// A write-ahead result journal bound to one file and one context.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    context: String,
+    file: File,
+    entries: HashMap<(String, usize), Value>,
+    stats: JournalStats,
+}
+
+impl Journal {
+    /// Opens (or creates) the journal at `path` for the given context.
+    ///
+    /// An existing file is recovered record by record: the longest
+    /// valid prefix is trusted, the torn tail (if any) is truncated
+    /// off and counted. A file whose header is torn or missing is
+    /// restarted from scratch — there is nothing trustworthy to keep.
+    ///
+    /// # Errors
+    ///
+    /// [`PitonError::Codec`] when the file cannot be opened/written,
+    /// or when it carries a valid header for a *different* context —
+    /// serving those results would silently mix configurations, so the
+    /// mismatch is refused instead.
+    pub fn open(path: &Path, context: &str) -> Result<Self, PitonError> {
+        let io = |what: &str, e: std::io::Error| {
+            PitonError::codec(format!("journal {}: {what}: {e}", path.display()))
+        };
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)
+            .map_err(|e| io("open", e))?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes).map_err(|e| io("read", e))?;
+
+        let mut journal = Journal {
+            path: path.to_path_buf(),
+            context: context.to_owned(),
+            file,
+            entries: HashMap::new(),
+            stats: JournalStats::default(),
+        };
+
+        let mut valid_end = 0usize;
+        let mut saw_header = false;
+        let mut cursor = 0usize;
+        while cursor < bytes.len() {
+            let Some(nl) = bytes[cursor..].iter().position(|&b| b == b'\n') else {
+                break; // unterminated tail line: torn by definition
+            };
+            let line = &bytes[cursor..cursor + nl];
+            let Some(json) = unframe(line) else { break };
+            let Ok(v) = json::parse(json) else { break };
+            if !saw_header {
+                let Some(schema) = v.get("schema").and_then(Value::as_str) else {
+                    break;
+                };
+                if schema != JOURNAL_SCHEMA {
+                    break;
+                }
+                let Some(ctx) = v.get("context").and_then(Value::as_str) else {
+                    break;
+                };
+                if ctx != context {
+                    return Err(PitonError::codec(format!(
+                        "journal {}: context mismatch: file was recorded under {ctx:?}, \
+                         this run is {context:?}",
+                        path.display()
+                    )));
+                }
+                saw_header = true;
+            } else {
+                let (Some(key), Some(section), Some(index), Some(payload)) = (
+                    v.get("key").and_then(Value::as_u64),
+                    v.get("section").and_then(Value::as_str),
+                    v.get("index").and_then(Value::as_u64),
+                    v.get("payload"),
+                ) else {
+                    break;
+                };
+                let index = index as usize;
+                if key != point_key(context, section, index) {
+                    break; // foreign or corrupted key: never trust it
+                }
+                journal
+                    .entries
+                    .insert((section.to_owned(), index), payload.clone());
+                journal.stats.recovered += 1;
+            }
+            cursor += nl + 1;
+            valid_end = cursor;
+        }
+        journal.stats.torn = (bytes.len() - valid_end) as u64;
+        // Torn recovery may have dropped complete records that
+        // followed the tear; the count reflects what survived.
+        journal.stats.recovered = journal.entries.len() as u64;
+
+        journal
+            .file
+            .set_len(valid_end as u64)
+            .map_err(|e| io("truncate torn tail", e))?;
+        journal
+            .file
+            .seek(SeekFrom::Start(valid_end as u64))
+            .map_err(|e| io("seek", e))?;
+        if !saw_header {
+            // Fresh file (or nothing salvageable): restart it.
+            journal.entries.clear();
+            journal.stats.recovered = 0;
+            journal.file.set_len(0).map_err(|e| io("restart", e))?;
+            journal
+                .file
+                .seek(SeekFrom::Start(0))
+                .map_err(|e| io("seek", e))?;
+            let header = ObjectBuilder::new()
+                .field("schema", Value::Str(JOURNAL_SCHEMA.to_owned()))
+                .field("context", Value::Str(context.to_owned()))
+                .build()
+                .render();
+            journal.write_line(&header)?;
+            journal.sync()?;
+        }
+        Ok(journal)
+    }
+
+    fn write_line(&mut self, json: &str) -> Result<(), PitonError> {
+        let mut line = frame(json);
+        line.push('\n');
+        self.file
+            .write_all(line.as_bytes())
+            .map_err(|e| PitonError::codec(format!("journal {}: append: {e}", self.path.display())))
+    }
+
+    /// The context spec this journal is bound to.
+    #[must_use]
+    pub fn context(&self) -> &str {
+        &self.context
+    }
+
+    /// The content-addressed key of a grid point under this journal's
+    /// context.
+    #[must_use]
+    pub fn key_for(&self, section: &str, index: usize) -> u64 {
+        point_key(&self.context, section, index)
+    }
+
+    /// The recovered/served/appended/torn accounting so far.
+    #[must_use]
+    pub fn stats(&self) -> JournalStats {
+        self.stats
+    }
+
+    /// Looks up a completed point, counting a successful hit as served.
+    pub fn serve(&mut self, section: &str, index: usize) -> Option<Value> {
+        let v = self.entries.get(&(section.to_owned(), index)).cloned();
+        if v.is_some() {
+            self.stats.served += 1;
+        }
+        v
+    }
+
+    /// Appends one completed point as a write-ahead record. Not
+    /// fsync'd — call [`Journal::sync`] at the batch boundary (and
+    /// before any deliberate abort).
+    ///
+    /// # Errors
+    ///
+    /// [`PitonError::Codec`] when the write fails.
+    pub fn record(
+        &mut self,
+        section: &str,
+        index: usize,
+        payload: &Value,
+    ) -> Result<(), PitonError> {
+        let json = ObjectBuilder::new()
+            .field(
+                "key",
+                Value::Int(i128::from(point_key(&self.context, section, index))),
+            )
+            .field("section", Value::Str(section.to_owned()))
+            .field("index", Value::Int(index as i128))
+            .field("payload", payload.clone())
+            .build()
+            .render();
+        self.write_line(&json)?;
+        self.entries
+            .insert((section.to_owned(), index), payload.clone());
+        self.stats.appended += 1;
+        Ok(())
+    }
+
+    /// Forces every appended record onto disk (the batch boundary).
+    ///
+    /// # Errors
+    ///
+    /// [`PitonError::Codec`] when the sync fails.
+    pub fn sync(&mut self) -> Result<(), PitonError> {
+        self.file
+            .sync_data()
+            .map_err(|e| PitonError::codec(format!("journal {}: sync: {e}", self.path.display())))
+    }
+}
+
+/// A `Copy`-able handle to a registered [`Journal`], mirroring the
+/// fault layer's `FaultToken` so journal-carrying configuration (e.g.
+/// `Fidelity`) stays `Copy`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JournalToken(u32);
+
+static REGISTRY: Mutex<Vec<Arc<Mutex<Journal>>>> = Mutex::new(Vec::new());
+
+/// Registers a journal in the process-wide registry, returning its
+/// token. Append-only: tokens stay valid for the process lifetime.
+#[must_use]
+pub fn register(journal: Journal) -> JournalToken {
+    let mut reg = REGISTRY.lock().expect("journal registry lock");
+    reg.push(Arc::new(Mutex::new(journal)));
+    JournalToken(u32::try_from(reg.len() - 1).expect("registry fits in u32"))
+}
+
+/// Resolves a token back to its shared journal.
+///
+/// # Panics
+///
+/// Panics on a token from another process (registry miss).
+#[must_use]
+pub fn resolve(token: JournalToken) -> Arc<Mutex<Journal>> {
+    Arc::clone(&REGISTRY.lock().expect("journal registry lock")[token.0 as usize])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "piton-journal-test-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id(),
+        ));
+        p
+    }
+
+    #[test]
+    fn round_trips_records_across_reopen() {
+        let path = temp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut j = Journal::open(&path, "ctx-a").unwrap();
+            j.record(
+                "epi",
+                0,
+                &WithError {
+                    value: 1.25,
+                    error: 0.5,
+                }
+                .to_value(),
+            )
+            .unwrap();
+            j.record("noc", 3, &Watts(0.123_456_789).to_value())
+                .unwrap();
+            j.record("scaling", 7, &2.5f64.to_value()).unwrap();
+            j.sync().unwrap();
+            assert_eq!(j.stats().appended, 3);
+        }
+        let mut j = Journal::open(&path, "ctx-a").unwrap();
+        assert_eq!(j.stats().recovered, 3);
+        assert_eq!(j.stats().torn, 0);
+        let w = WithError::from_value(&j.serve("epi", 0).unwrap()).unwrap();
+        assert_eq!((w.value, w.error), (1.25, 0.5));
+        let watts = Watts::from_value(&j.serve("noc", 3).unwrap()).unwrap();
+        assert_eq!(watts.0, 0.123_456_789);
+        assert_eq!(
+            f64::from_value(&j.serve("scaling", 7).unwrap()).unwrap(),
+            2.5
+        );
+        assert!(j.serve("epi", 1).is_none());
+        assert_eq!(j.stats().served, 3);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncated_tail_recovers_exactly_the_complete_prefix() {
+        let path = temp_path("torn");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut j = Journal::open(&path, "ctx").unwrap();
+            for i in 0..8usize {
+                j.record("scaling", i, &(i as f64 * 0.25).to_value())
+                    .unwrap();
+            }
+            j.sync().unwrap();
+        }
+        let full = std::fs::read(&path).unwrap();
+        let line_ends: Vec<usize> = full
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &b)| (b == b'\n').then_some(i + 1))
+            .collect();
+        assert_eq!(line_ends.len(), 9); // header + 8 records
+                                        // Truncate at every byte offset: recovery must always yield
+                                        // exactly the complete-record prefix — never a panic, never a
+                                        // bogus value, never a dropped complete record.
+        for cut in 0..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let mut j = Journal::open(&path, "ctx").unwrap();
+            let whole_lines = line_ends.iter().filter(|&&e| e <= cut).count();
+            let expected = whole_lines.saturating_sub(1); // minus header
+            let k = j.stats().recovered as usize;
+            assert_eq!(k, expected, "cut={cut}");
+            for i in 0..k {
+                let v = f64::from_value(&j.serve("scaling", i).unwrap()).unwrap();
+                assert_eq!(v, i as f64 * 0.25, "cut={cut}");
+            }
+            assert!(j.serve("scaling", k).is_none(), "cut={cut}");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn garbage_tail_is_truncated_and_journal_stays_appendable() {
+        let path = temp_path("garbage");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut j = Journal::open(&path, "ctx").unwrap();
+            j.record("epi", 0, &1.0f64.to_value()).unwrap();
+            j.sync().unwrap();
+        }
+        let clean_len = std::fs::metadata(&path).unwrap().len();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&[0xFF, 0xFE, b'\n', b'x', b'\n']);
+        std::fs::write(&path, &bytes).unwrap();
+        {
+            let mut j = Journal::open(&path, "ctx").unwrap();
+            assert_eq!(j.stats().recovered, 1);
+            assert_eq!(j.stats().torn, 5);
+            j.record("epi", 1, &2.0f64.to_value()).unwrap();
+            j.sync().unwrap();
+        }
+        assert!(std::fs::metadata(&path).unwrap().len() > clean_len);
+        let mut j = Journal::open(&path, "ctx").unwrap();
+        assert_eq!(j.stats().recovered, 2);
+        assert_eq!(f64::from_value(&j.serve("epi", 1).unwrap()).unwrap(), 2.0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn context_mismatch_is_refused() {
+        let path = temp_path("ctx-mismatch");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut j = Journal::open(&path, "quick|fault=none").unwrap();
+            j.record("epi", 0, &1.0f64.to_value()).unwrap();
+            j.sync().unwrap();
+        }
+        let err = Journal::open(&path, "full|fault=none").unwrap_err();
+        assert!(matches!(err, PitonError::Codec { .. }), "{err:?}");
+        assert!(err.to_string().contains("context mismatch"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_header_restarts_the_file() {
+        let path = temp_path("bad-header");
+        let _ = std::fs::remove_file(&path);
+        std::fs::write(&path, b"not a journal at all\n").unwrap();
+        let j = Journal::open(&path, "ctx").unwrap();
+        assert_eq!(j.stats().recovered, 0);
+        assert_eq!(j.stats().torn, 21);
+        // The file was restarted with a valid header for this context.
+        let j2 = Journal::open(&path, "ctx").unwrap();
+        assert_eq!(j2.stats().torn, 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn keys_separate_sections_indices_and_contexts() {
+        let k = point_key("ctx", "epi", 3);
+        assert_ne!(k, point_key("ctx", "epi", 4));
+        assert_ne!(k, point_key("ctx", "noc", 3));
+        assert_ne!(k, point_key("ctx2", "epi", 3));
+        // Separator prevents ("ab", 1) colliding with ("a", "b1")-style smears.
+        assert_ne!(point_key("c", "ab", 1), point_key("c", "a", 11));
+    }
+
+    #[test]
+    fn payloads_round_trip_non_finite_values() {
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.0, 1e-300] {
+            let enc = v.to_value();
+            let back = f64::from_value(&json::parse(&enc.render()).unwrap()).unwrap();
+            assert!(back == v || (back.is_nan() && v.is_nan()), "{v} -> {back}");
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            /// Append N records, tear the file at a random byte
+            /// offset: recovery yields exactly the records whose whole
+            /// line survived, each with its exact payload.
+            #[test]
+            fn torn_tail_recovery_is_exactly_the_complete_prefix(
+                raw in proptest::collection::vec(proptest::strategy::any::<u64>(), 1..24),
+                cut_seed in proptest::strategy::any::<u64>(),
+            ) {
+                let path = temp_path("torn-prop");
+                let _ = std::fs::remove_file(&path);
+                let values: Vec<f64> =
+                    raw.iter().map(|&v| (v % 4096) as f64 / 8.0).collect();
+                {
+                    let mut j = Journal::open(&path, "prop-ctx").unwrap();
+                    for (i, &v) in values.iter().enumerate() {
+                        j.record("noc", i, &v.to_value()).unwrap();
+                    }
+                    j.sync().unwrap();
+                }
+                let full = std::fs::read(&path).unwrap();
+                let cut = (cut_seed % (full.len() as u64 + 1)) as usize;
+                std::fs::write(&path, &full[..cut]).unwrap();
+                let whole_lines = full[..cut].iter().filter(|&&b| b == b'\n').count();
+                let expected = whole_lines.saturating_sub(1); // header line
+                let mut j = Journal::open(&path, "prop-ctx").unwrap();
+                prop_assert_eq!(j.stats().recovered as usize, expected);
+                for (i, &v) in values.iter().enumerate().take(expected) {
+                    let got = f64::from_value(&j.serve("noc", i).unwrap()).unwrap();
+                    prop_assert_eq!(got, v, "record {}", i);
+                }
+                prop_assert!(j.serve("noc", expected).is_none());
+                let _ = std::fs::remove_file(&path);
+            }
+        }
+    }
+
+    #[test]
+    fn registry_round_trips() {
+        let path = temp_path("registry");
+        let _ = std::fs::remove_file(&path);
+        let j = Journal::open(&path, "ctx").unwrap();
+        let token = register(j);
+        let shared = resolve(token);
+        assert_eq!(shared.lock().unwrap().context(), "ctx");
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -9,7 +9,9 @@
 //! * [`experiments`] — one module per table/figure (see the module
 //!   docs for the full index);
 //! * [`report`] — plain-text rendering in the paper's row/column
-//!   shapes, with paper-versus-measured deviation columns.
+//!   shapes, with paper-versus-measured deviation columns;
+//! * [`journal`] — the write-ahead result journal behind durable,
+//!   crash-resumable sweeps (`reproduce --journal/--resume`).
 //!
 //! # Examples
 //!
@@ -25,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod journal;
 pub mod measure;
 pub mod report;
 pub mod runner;

@@ -28,7 +28,11 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use piton_arch::error::PitonError;
+use piton_board::fault::FaultPlan;
+use piton_obs::trace::{JournalKind, TraceEvent};
 use piton_obs::{metrics, trace};
+
+use crate::journal::{self, JournalPayload, JournalToken};
 
 /// Accumulated sweep timing: how much point work ran (`busy`) versus
 /// how long the sweeps took end to end (`wall`).
@@ -179,17 +183,42 @@ where
 }
 
 /// Retry policy of a fault-isolated sweep: how many attempts each grid
-/// point gets before its failure becomes a hole.
+/// point gets before its failure becomes a hole, how long each attempt
+/// may run, and how long to pause between retries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Total attempts per point (first try included).
     pub max_attempts: u32,
+    /// Per-attempt deadline budget. Each attempt arms the cooperative
+    /// [`piton_arch::deadline`] for this long, so a wedged measurement
+    /// surfaces as a *transient* [`PitonError::DeadlineExceeded`]
+    /// (polled by warm-up, sampling and the hang watchdog) and the
+    /// retry gets a fresh budget. `None` leaves attempts unbudgeted.
+    pub timeout: Option<Duration>,
+    /// Pause before the first retry, doubling on every further retry
+    /// (exponential backoff, saturating). [`Duration::ZERO`] retries
+    /// immediately.
+    pub backoff: Duration,
 }
 
 impl Default for RetryPolicy {
     fn default() -> Self {
-        Self { max_attempts: 3 }
+        Self {
+            max_attempts: 3,
+            timeout: None,
+            backoff: Duration::ZERO,
+        }
     }
+}
+
+/// Sleeps before retry number `retry` (1-based): `base * 2^(retry-1)`,
+/// saturating. A zero base skips the pause entirely.
+fn backoff_pause(base: Duration, retry: u32) {
+    if base.is_zero() {
+        return;
+    }
+    let factor = 1u32 << (retry - 1).min(16);
+    std::thread::sleep(base.saturating_mul(factor));
 }
 
 /// How a grid point ultimately failed.
@@ -266,47 +295,168 @@ where
     T: Send,
     F: Fn(usize, &I, u32) -> Result<T, PitonError> + Sync,
 {
-    let max_attempts = policy.max_attempts.max(1);
     sweep(jobs, items, |idx, item| {
-        let mut attempt = 0;
-        let out = loop {
-            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(idx, &item, attempt)))
-            {
-                Ok(Ok(v)) => break Ok(v),
-                Ok(Err(e)) => {
-                    if e.is_transient() && attempt + 1 < max_attempts {
-                        attempt += 1;
-                        continue;
-                    }
-                    break Err(PointError {
+        let (attempt, out) = run_point(idx, &item, policy, &f);
+        note_point_metrics(attempt, out.is_err());
+        out
+    })
+}
+
+/// One grid point's attempt loop: panic isolation, per-attempt deadline
+/// budget, transient retry with exponential backoff. Returns the final
+/// attempt number alongside the outcome.
+fn run_point<I, T>(
+    idx: usize,
+    item: &I,
+    policy: RetryPolicy,
+    f: &(impl Fn(usize, &I, u32) -> Result<T, PitonError> + Sync),
+) -> (u32, Result<T, PointError>) {
+    let max_attempts = policy.max_attempts.max(1);
+    let mut attempt = 0;
+    let out = loop {
+        if let Some(timeout) = policy.timeout {
+            piton_arch::deadline::arm(Instant::now() + timeout);
+        }
+        let tried =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(idx, item, attempt)));
+        piton_arch::deadline::disarm();
+        match tried {
+            Ok(Ok(v)) => break Ok(v),
+            Ok(Err(e)) => {
+                if e.is_transient() && attempt + 1 < max_attempts {
+                    attempt += 1;
+                    backoff_pause(policy.backoff, attempt);
+                    continue;
+                }
+                break Err(PointError {
+                    index: idx,
+                    attempts: attempt + 1,
+                    failure: PointFailure::Failed(e),
+                });
+            }
+            Err(payload) => {
+                if attempt + 1 < max_attempts {
+                    attempt += 1;
+                    backoff_pause(policy.backoff, attempt);
+                    continue;
+                }
+                break Err(PointError {
+                    index: idx,
+                    attempts: attempt + 1,
+                    failure: PointFailure::Panicked(payload_text(payload.as_ref())),
+                });
+            }
+        }
+    };
+    (attempt, out)
+}
+
+fn note_point_metrics(attempt: u32, holed: bool) {
+    if metrics::enabled() {
+        if attempt > 0 {
+            metrics::counter_add("sweep.retries", u64::from(attempt));
+        }
+        if holed {
+            metrics::counter_add("sweep.holes", 1);
+        }
+    }
+}
+
+/// Journal-backed [`try_sweep`]: the durable, crash-resumable sweep.
+///
+/// With a journal token, every grid point already present in the
+/// write-ahead [`crate::journal::Journal`] is **served** from it —
+/// skipping the closure, and with it every sabotage gate and retry —
+/// while freshly computed points are **appended** before the sweep
+/// proceeds. Payload round-trips are exact, so a resumed sweep's
+/// output is byte-identical to an uninterrupted one at any jobs level.
+/// Appends are batched: the journal is fsync'd once at the end of the
+/// sweep (and immediately before an injected crash).
+///
+/// A `crash=SECTION:IDX` entry in the fault plan hard-aborts the
+/// process when that point completes on the *compute* path — strictly
+/// after its record is durably on disk — so the `--resume` relaunch
+/// serves the point from the journal and the crash never re-fires.
+///
+/// With `token = None` and a plan without crash points this behaves
+/// exactly like [`try_sweep`].
+pub fn try_sweep_journaled<I, T, F>(
+    jobs: usize,
+    items: Vec<I>,
+    policy: RetryPolicy,
+    section: &str,
+    plan: Option<&FaultPlan>,
+    token: Option<JournalToken>,
+    f: F,
+) -> Vec<Result<T, PointError>>
+where
+    I: Send,
+    T: Send + JournalPayload,
+    F: Fn(usize, &I, u32) -> Result<T, PitonError> + Sync,
+{
+    let shared = token.map(journal::resolve);
+    let out = sweep(jobs, items, |idx, item| {
+        if let Some(shared) = &shared {
+            let mut j = shared.lock().expect("journal lock");
+            if let Some(v) = j.serve(section, idx) {
+                if let Ok(t) = T::from_value(&v) {
+                    trace::emit(TraceEvent::Journal {
+                        section: section.to_owned(),
+                        index: idx as u64,
+                        kind: JournalKind::Serve,
+                        key: j.key_for(section, idx),
+                    });
+                    return Ok(t);
+                }
+                // A checksummed record that no longer decodes as `T`
+                // means the payload type changed under an unchanged
+                // context string; recompute rather than trust it.
+            }
+        }
+        let (attempt, out) = run_point(idx, &item, policy, &f);
+        note_point_metrics(attempt, out.is_err());
+        if let Ok(v) = &out {
+            if let Some(shared) = &shared {
+                let mut j = shared.lock().expect("journal lock");
+                if let Err(e) = j.record(section, idx, &v.to_value()) {
+                    // A result we cannot make durable must not be
+                    // reported as completed: better a visible hole.
+                    return Err(PointError {
                         index: idx,
                         attempts: attempt + 1,
                         failure: PointFailure::Failed(e),
                     });
                 }
-                Err(payload) => {
-                    if attempt + 1 < max_attempts {
-                        attempt += 1;
-                        continue;
+                trace::emit(TraceEvent::Journal {
+                    section: section.to_owned(),
+                    index: idx as u64,
+                    kind: JournalKind::Append,
+                    key: j.key_for(section, idx),
+                });
+                if plan.is_some_and(|p| p.crash_for(section, idx)) {
+                    // Durability first: the crashed point's record must
+                    // reach disk so the resumed run serves it.
+                    if let Err(e) = j.sync() {
+                        eprintln!("piton: journal sync before injected crash failed: {e}");
                     }
-                    break Err(PointError {
-                        index: idx,
-                        attempts: attempt + 1,
-                        failure: PointFailure::Panicked(payload_text(payload.as_ref())),
-                    });
+                    eprintln!("piton: injected crash at {section}:{idx}");
+                    std::process::abort();
                 }
-            }
-        };
-        if metrics::enabled() {
-            if attempt > 0 {
-                metrics::counter_add("sweep.retries", u64::from(attempt));
-            }
-            if out.is_err() {
-                metrics::counter_add("sweep.holes", 1);
+            } else if plan.is_some_and(|p| p.crash_for(section, idx)) {
+                eprintln!("piton: injected crash at {section}:{idx}");
+                std::process::abort();
             }
         }
         out
-    })
+    });
+    if let Some(shared) = &shared {
+        // The batch boundary: everything this sweep appended becomes
+        // durable in one fsync.
+        if let Err(e) = shared.lock().expect("journal lock").sync() {
+            eprintln!("piton: journal sync at sweep end failed: {e}");
+        }
+    }
+    out
 }
 
 /// The number of worker threads to use when the caller doesn't say:
@@ -418,7 +568,10 @@ mod tests {
         let out = try_sweep(
             1,
             vec![0u64],
-            RetryPolicy { max_attempts: 5 },
+            RetryPolicy {
+                max_attempts: 5,
+                ..RetryPolicy::default()
+            },
             |_, _, attempt| {
                 assert_eq!(attempt, 0, "deterministic failures must not retry");
                 Err::<u64, _>(PitonError::injected("dead point"))
@@ -451,6 +604,123 @@ mod tests {
             )
         };
         assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn deadline_budget_turns_a_wedged_point_into_a_transient_failure() {
+        // The point cooperatively polls the deadline (as warm-up and
+        // sampling do); an over-budget attempt fails transiently and
+        // each retry gets a fresh budget it also blows.
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            timeout: Some(Duration::from_millis(2)),
+            backoff: Duration::ZERO,
+        };
+        let out = try_sweep(1, vec![0u64], policy, |_, _, _| {
+            std::thread::sleep(Duration::from_millis(5));
+            piton_arch::deadline::check("wedged measurement")?;
+            Ok(1u64)
+        });
+        let e = out[0].as_ref().unwrap_err();
+        assert_eq!(e.attempts, 2);
+        assert!(
+            matches!(
+                &e.failure,
+                PointFailure::Failed(PitonError::DeadlineExceeded { .. })
+            ),
+            "{e}"
+        );
+        // The budget is per attempt: a fast point under the same
+        // policy never trips it.
+        let ok = try_sweep(1, vec![7u64], policy, |_, &x, _| {
+            piton_arch::deadline::check("fast point")?;
+            Ok(x)
+        });
+        assert_eq!(*ok[0].as_ref().unwrap(), 7);
+    }
+
+    #[test]
+    fn backoff_doubles_between_retries() {
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            timeout: None,
+            backoff: Duration::from_millis(4),
+        };
+        let t0 = Instant::now();
+        let out = try_sweep(1, vec![0u64], policy, |_, _, _| {
+            Err::<u64, _>(PitonError::transient("always flaky"))
+        });
+        assert!(out[0].is_err());
+        // Two retries: 4 ms + 8 ms of pause at minimum.
+        assert!(t0.elapsed() >= Duration::from_millis(12));
+    }
+
+    #[test]
+    fn journaled_sweep_appends_then_serves_without_recompute() {
+        use std::sync::atomic::AtomicUsize;
+
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "piton-runner-journal-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let token = journal::register(journal::Journal::open(&path, "runner-test-ctx").unwrap());
+        let calls = AtomicUsize::new(0);
+        let f = |_: usize, &x: &u64, _: u32| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Ok(x as f64 * 0.5)
+        };
+        let grid: Vec<u64> = (0..6).collect();
+        let first = try_sweep_journaled(
+            2,
+            grid.clone(),
+            RetryPolicy::default(),
+            "scaling",
+            None,
+            Some(token),
+            f,
+        );
+        assert_eq!(calls.load(Ordering::Relaxed), 6);
+        // Same token again: every point is served, none recomputed,
+        // results byte-identical at a different jobs level.
+        let second = try_sweep_journaled(
+            1,
+            grid,
+            RetryPolicy::default(),
+            "scaling",
+            None,
+            Some(token),
+            f,
+        );
+        assert_eq!(calls.load(Ordering::Relaxed), 6);
+        let unwrap = |v: Vec<Result<f64, PointError>>| -> Vec<f64> {
+            v.into_iter().map(Result::unwrap).collect()
+        };
+        assert_eq!(unwrap(first), unwrap(second));
+        let stats = journal::resolve(token).lock().unwrap().stats();
+        assert_eq!(stats.appended, 6);
+        assert_eq!(stats.served, 6);
+        // The records are durable: a fresh open recovers all of them.
+        let reopened = journal::Journal::open(&path, "runner-test-ctx").unwrap();
+        assert_eq!(reopened.stats().recovered, 6);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn journaled_sweep_without_token_matches_try_sweep() {
+        let f = |i: usize, &x: &u64, attempt: u32| {
+            if i == 2 && attempt == 0 {
+                return Err(PitonError::transient("glitch"));
+            }
+            Ok(x as f64 + f64::from(attempt))
+        };
+        let grid: Vec<u64> = (0..8).collect();
+        let plain = try_sweep(4, grid.clone(), RetryPolicy::default(), f);
+        let journaled =
+            try_sweep_journaled(4, grid, RetryPolicy::default(), "scaling", None, None, f);
+        assert_eq!(plain, journaled);
     }
 
     #[test]

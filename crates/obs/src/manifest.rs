@@ -9,7 +9,10 @@
 //!   "fidelity": "quick" | "full",
 //!   "jobs": <usize>,
 //!   "fault_plan": null | "<spec string>",
+//!   "fault_effects": "<spec string>",    // only present when the plan affects results
 //!   "governor": "<policy label>",        // only present on governed runs
+//!   "journal": { "served": n, "appended": n, "recovered": n, "torn": n },
+//!                                        // only present on --journal runs
 //!   "total_wall_s": <f64>,
 //!   "sections": [
 //!     { "title": "...", "wall_s": f, "busy_s": f, "sweeps": n, "points": n }
@@ -21,11 +24,17 @@
 //! }
 //! ```
 
+use piton_arch::error::PitonError;
+
 use crate::json::{self, ObjectBuilder, Value};
 use crate::metrics::MetricsSnapshot;
 
 /// The schema identifier every valid manifest must carry.
 pub const MANIFEST_SCHEMA: &str = "piton-run-manifest/v1";
+
+/// The schema identifier of the deterministic projection
+/// ([`RunManifest::deterministic_json`]).
+pub const DETERMINISTIC_SCHEMA: &str = "piton-run-manifest/v1-deterministic";
 
 /// Per-section sweep accounting (from the runner's `SweepStats`).
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -47,16 +56,37 @@ pub struct HoleRecord {
     pub error: String,
 }
 
+/// Result-journal accounting for a durable (`--journal`) run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JournalStats {
+    /// Points served from the journal without recomputation.
+    pub served: u64,
+    /// Points computed this run and appended to the journal.
+    pub appended: u64,
+    /// Complete records recovered from a pre-existing journal file.
+    pub recovered: u64,
+    /// Torn/corrupt trailing bytes discarded during recovery.
+    pub torn: u64,
+}
+
 /// A complete run manifest.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct RunManifest {
     pub fidelity: String,
     pub jobs: usize,
     pub fault_plan: Option<String>,
+    /// The result-affecting subset of `fault_plan` (crash points
+    /// stripped, effect-free plans normalized to `None`) — what the
+    /// deterministic projection keys on. Omitted when `None` so
+    /// historical manifests stay byte-identical.
+    pub fault_effects: Option<String>,
     /// DVFS governor policy label, when a governor drove the run. The
     /// field is *omitted* (not null) on ungoverned runs so historical
     /// manifests stay byte-identical.
     pub governor: Option<String>,
+    /// Result-journal accounting, when the run was durable. Omitted
+    /// when `None` for the same byte-compatibility reason.
+    pub journal: Option<JournalStats>,
     pub total_wall_s: f64,
     pub sections: Vec<SectionRecord>,
     pub holes: Vec<HoleRecord>,
@@ -105,8 +135,22 @@ impl RunManifest {
                     .as_ref()
                     .map_or(Value::Null, |p| Value::Str(p.clone())),
             );
+        if let Some(e) = &self.fault_effects {
+            builder = builder.field("fault_effects", Value::Str(e.clone()));
+        }
         if let Some(g) = &self.governor {
             builder = builder.field("governor", Value::Str(g.clone()));
+        }
+        if let Some(j) = &self.journal {
+            builder = builder.field(
+                "journal",
+                ObjectBuilder::new()
+                    .field("served", Value::Int(i128::from(j.served)))
+                    .field("appended", Value::Int(i128::from(j.appended)))
+                    .field("recovered", Value::Int(i128::from(j.recovered)))
+                    .field("torn", Value::Int(i128::from(j.torn)))
+                    .build(),
+            );
         }
         let doc = builder
             .field("total_wall_s", Value::Float(self.total_wall_s))
@@ -119,13 +163,78 @@ impl RunManifest {
         out
     }
 
+    /// Renders the *deterministic projection* of the manifest: only the
+    /// fields two byte-equivalent runs must agree on — schema,
+    /// fidelity, fault effects, governor, per-section sweep
+    /// accounting (titles, sweep and point counts — no wall-clock
+    /// times) and holes. Journal accounting, timings, engine metrics
+    /// *and the jobs level* are excluded: results are jobs-invariant,
+    /// and an interrupted-then-resumed run must produce a projection
+    /// byte-identical to an uninterrupted one at any `--jobs` — the
+    /// contract the crash/resume harness diffs.
+    #[must_use]
+    pub fn deterministic_json(&self) -> String {
+        let sections = Value::Array(
+            self.sections
+                .iter()
+                .map(|s| {
+                    ObjectBuilder::new()
+                        .field("title", Value::Str(s.title.clone()))
+                        .field("sweeps", Value::Int(i128::from(s.sweeps)))
+                        .field("points", Value::Int(i128::from(s.points)))
+                        .build()
+                })
+                .collect(),
+        );
+        let holes = Value::Array(
+            self.holes
+                .iter()
+                .map(|h| {
+                    ObjectBuilder::new()
+                        .field("section", Value::Str(h.section.clone()))
+                        .field("index", Value::Int(h.index as i128))
+                        .field("point", Value::Str(h.point.clone()))
+                        .field("attempts", Value::Int(i128::from(h.attempts)))
+                        .field("error", Value::Str(h.error.clone()))
+                        .build()
+                })
+                .collect(),
+        );
+        let mut builder = ObjectBuilder::new()
+            .field("schema", Value::Str(DETERMINISTIC_SCHEMA.to_owned()))
+            .field("fidelity", Value::Str(self.fidelity.clone()))
+            .field(
+                "fault_effects",
+                self.fault_effects
+                    .as_ref()
+                    .map_or(Value::Null, |e| Value::Str(e.clone())),
+            );
+        if let Some(g) = &self.governor {
+            builder = builder.field("governor", Value::Str(g.clone()));
+        }
+        let doc = builder
+            .field("sections", sections)
+            .field("holes", holes)
+            .build();
+        let mut out = doc.render();
+        out.push('\n');
+        out
+    }
+
     /// Parses and validates a manifest document.
+    ///
+    /// Total over arbitrary input — truncated, torn, or garbage bytes
+    /// produce a structured error, never a panic.
     ///
     /// # Errors
     ///
-    /// Returns a message for malformed JSON, a wrong/missing schema
-    /// identifier, or ill-typed fields.
-    pub fn from_json(doc: &str) -> Result<Self, String> {
+    /// [`PitonError::Codec`] naming what failed: malformed JSON, a
+    /// wrong/missing schema identifier, or ill-typed fields.
+    pub fn from_json(doc: &str) -> Result<Self, PitonError> {
+        Self::from_json_inner(doc).map_err(|e| PitonError::codec(format!("run manifest: {e}")))
+    }
+
+    fn from_json_inner(doc: &str) -> Result<Self, String> {
         let v = json::parse(doc)?;
         let schema = v
             .get("schema")
@@ -158,10 +267,31 @@ impl RunManifest {
                 Some(Value::Str(s)) => Some(s.clone()),
                 Some(_) => return Err("'fault_plan' must be null or a string".to_owned()),
             },
+            fault_effects: match v.get("fault_effects") {
+                None | Some(Value::Null) => None,
+                Some(Value::Str(s)) => Some(s.clone()),
+                Some(_) => return Err("'fault_effects' must be a string".to_owned()),
+            },
             governor: match v.get("governor") {
                 None | Some(Value::Null) => None,
                 Some(Value::Str(s)) => Some(s.clone()),
                 Some(_) => return Err("'governor' must be a string".to_owned()),
+            },
+            journal: match v.get("journal") {
+                None | Some(Value::Null) => None,
+                Some(j) => {
+                    let count = |key: &str| -> Result<u64, String> {
+                        j.get(key)
+                            .and_then(Value::as_u64)
+                            .ok_or_else(|| format!("journal missing count '{key}'"))
+                    };
+                    Some(JournalStats {
+                        served: count("served")?,
+                        appended: count("appended")?,
+                        recovered: count("recovered")?,
+                        torn: count("torn")?,
+                    })
+                }
             },
             total_wall_s: float(&v, "total_wall_s")?,
             ..RunManifest::default()
@@ -238,7 +368,9 @@ mod tests {
             fidelity: "quick".to_owned(),
             jobs: 4,
             fault_plan: Some("seed=7,drop=0.25,kill=epi:3".to_owned()),
+            fault_effects: Some("seed=7,drop=0.25,kill=epi:3".to_owned()),
             governor: None,
+            journal: None,
             total_wall_s: 12.25,
             sections: vec![SectionRecord {
                 title: "Figure 11: EPI".to_owned(),
@@ -269,7 +401,54 @@ mod tests {
     fn rejects_wrong_schema() {
         let doc = sample().to_json().replace("piton-run-manifest/v1", "v0");
         let err = RunManifest::from_json(&doc).unwrap_err();
-        assert!(err.contains("schema mismatch"), "{err}");
+        assert!(matches!(err, PitonError::Codec { .. }), "{err:?}");
+        assert!(err.to_string().contains("schema mismatch"), "{err}");
+    }
+
+    #[test]
+    fn journal_stats_round_trip_and_are_omitted_when_absent() {
+        let off = sample();
+        assert!(
+            !off.to_json().contains("journal"),
+            "journal-less manifests must not mention the journal"
+        );
+        let on = RunManifest {
+            journal: Some(JournalStats {
+                served: 12,
+                appended: 30,
+                recovered: 13,
+                torn: 1,
+            }),
+            ..sample()
+        };
+        let doc = on.to_json();
+        assert!(doc.contains("\"journal\":{\"served\":12"), "{doc}");
+        assert_eq!(RunManifest::from_json(&doc).unwrap(), on);
+    }
+
+    #[test]
+    fn deterministic_projection_ignores_timing_metrics_and_journal() {
+        let a = sample();
+        let mut b = sample();
+        b.total_wall_s = 99.0;
+        b.jobs = 16; // results are jobs-invariant
+        b.sections[0].wall_s = 42.0;
+        b.sections[0].busy_s = 17.0;
+        b.journal = Some(JournalStats {
+            served: 5,
+            appended: 1,
+            recovered: 5,
+            torn: 1,
+        });
+        b.metrics.counters.insert("extra.counter".to_owned(), 9);
+        // Same logical run → same projection, despite every volatile
+        // field differing.
+        assert_eq!(a.deterministic_json(), b.deterministic_json());
+        assert!(a.deterministic_json().contains(DETERMINISTIC_SCHEMA));
+        // A result-affecting difference does show up.
+        let mut c = sample();
+        c.holes.clear();
+        assert_ne!(a.deterministic_json(), c.deterministic_json());
     }
 
     #[test]

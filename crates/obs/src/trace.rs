@@ -40,8 +40,11 @@ pub const SUB_ADC: u32 = 1 << 3;
 pub const SUB_ENGINE: u32 = 1 << 4;
 /// DVFS governor operating-point changes.
 pub const SUB_GOVERNOR: u32 = 1 << 5;
+/// Result-journal serve/append decisions.
+pub const SUB_JOURNAL: u32 = 1 << 6;
 /// All subsystems.
-pub const SUB_ALL: u32 = SUB_RETIRE | SUB_CACHE | SUB_NOC | SUB_ADC | SUB_ENGINE | SUB_GOVERNOR;
+pub const SUB_ALL: u32 =
+    SUB_RETIRE | SUB_CACHE | SUB_NOC | SUB_ADC | SUB_ENGINE | SUB_GOVERNOR | SUB_JOURNAL;
 
 /// Which cache level an event concerns.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -145,6 +148,33 @@ impl EngineMode {
     }
 }
 
+/// What the result journal did with a grid point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JournalKind {
+    /// The point was served from a recovered journal record.
+    Serve,
+    /// The point was computed and its record appended.
+    Append,
+}
+
+impl JournalKind {
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            JournalKind::Serve => "serve",
+            JournalKind::Append => "append",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "serve" => JournalKind::Serve,
+            "append" => JournalKind::Append,
+            _ => return None,
+        })
+    }
+}
+
 /// One structured trace event. Every variant carries its cycle stamp
 /// and the identity (tile or monitor channel) it concerns.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -193,6 +223,14 @@ pub enum TraceEvent {
         millicelsius: i64,
         policy: String,
     },
+    /// The result journal served or appended a grid point. `key` is the
+    /// point's content hash; the grid index doubles as the clock.
+    Journal {
+        section: String,
+        index: u64,
+        kind: JournalKind,
+        key: u64,
+    },
 }
 
 impl TraceEvent {
@@ -206,6 +244,7 @@ impl TraceEvent {
             TraceEvent::Adc { .. } => SUB_ADC,
             TraceEvent::Engine { .. } => SUB_ENGINE,
             TraceEvent::Governor { .. } => SUB_GOVERNOR,
+            TraceEvent::Journal { .. } => SUB_JOURNAL,
         }
     }
 
@@ -219,6 +258,7 @@ impl TraceEvent {
             | TraceEvent::Engine { cycle, .. }
             | TraceEvent::Governor { cycle, .. } => *cycle,
             TraceEvent::Adc { sample, .. } => *sample,
+            TraceEvent::Journal { index, .. } => *index,
         }
     }
 
@@ -231,7 +271,9 @@ impl TraceEvent {
             }
             TraceEvent::NocHop { from, .. } => Some(u64::from(*from)),
             TraceEvent::Adc { channel, .. } => Some(*channel),
-            TraceEvent::Engine { .. } | TraceEvent::Governor { .. } => None,
+            TraceEvent::Engine { .. }
+            | TraceEvent::Governor { .. }
+            | TraceEvent::Journal { .. } => None,
         }
     }
 
@@ -307,6 +349,18 @@ impl TraceEvent {
                 .field("khz", Value::Int(i128::from(*khz)))
                 .field("mc", Value::Int(i128::from(*millicelsius)))
                 .field("policy", Value::Str(policy.clone()))
+                .build(),
+            TraceEvent::Journal {
+                section,
+                index,
+                kind,
+                key,
+            } => ObjectBuilder::new()
+                .field("e", Value::Str("journal".to_owned()))
+                .field("section", Value::Str(section.clone()))
+                .field("index", Value::Int(i128::from(*index)))
+                .field("kind", Value::Str(kind.name().to_owned()))
+                .field("key", Value::Int(i128::from(*key)))
                 .build(),
         };
         v.render()
@@ -384,6 +438,13 @@ impl TraceEvent {
                     .ok_or("missing integer field 'mc' in governor event")?,
                 policy: text("policy")?.to_owned(),
             }),
+            "journal" => Ok(TraceEvent::Journal {
+                section: text("section")?.to_owned(),
+                index: int("index")?,
+                kind: JournalKind::parse(text("kind")?)
+                    .ok_or_else(|| format!("unknown journal kind '{}'", text("kind").unwrap()))?,
+                key: int("key")?,
+            }),
             other => Err(format!("unknown event kind '{other}'")),
         }
     }
@@ -447,6 +508,16 @@ impl fmt::Display for TraceEvent {
                 *khz as f64 / 1_000.0,
                 *millicelsius as f64 / 1_000.0
             ),
+            TraceEvent::Journal {
+                section,
+                index,
+                kind,
+                key,
+            } => write!(
+                f,
+                "point {index:>8}  {section:<8} journal {} key={key:#018x}",
+                kind.name()
+            ),
         }
     }
 }
@@ -484,7 +555,8 @@ pub fn decode_jsonl(doc: &str) -> Result<Vec<TraceEvent>, String> {
 ///
 /// ```text
 /// SPEC  := PART {"," PART}
-/// PART  := "all" | "retire" | "cache" | "noc" | "adc" | "engine" | "governor"   subsystem enables
+/// PART  := "all" | "retire" | "cache" | "noc" | "adc" | "engine" | "governor" | "journal"
+///                             subsystem enables
 ///        | "out=PATH"       JSONL sink path   (default piton-trace.jsonl)
 ///        | "cap=N"          per-thread ring capacity (default 65536)
 ///        | "tile=N"         keep only events for tile/entity N
@@ -535,6 +607,7 @@ impl TraceSpec {
                 "adc" => out.mask |= SUB_ADC,
                 "engine" => out.mask |= SUB_ENGINE,
                 "governor" => out.mask |= SUB_GOVERNOR,
+                "journal" => out.mask |= SUB_JOURNAL,
                 _ => {
                     let (key, value) = part
                         .split_once('=')
@@ -832,6 +905,12 @@ mod tests {
                 cycle: 20,
                 mode: EngineMode::Dense,
             },
+            TraceEvent::Journal {
+                section: "epi".to_owned(),
+                index: 11,
+                kind: JournalKind::Serve,
+                key: 0x0123_4567_89ab_cdef,
+            },
         ]
     }
 
@@ -891,5 +970,6 @@ mod tests {
         assert!(TraceSpec::parse("bogus").is_err());
         assert!(TraceSpec::parse("cap=0").is_err());
         assert!(TraceSpec::parse("tile=x").is_err());
+        assert_eq!(TraceSpec::parse("journal").unwrap().mask, SUB_JOURNAL);
     }
 }

@@ -53,6 +53,7 @@ pub mod mitts;
 pub mod noc;
 pub mod program;
 pub mod testprog;
+pub mod watchdog;
 
 pub use crate::core::WaitKind;
 pub use events::ActivityCounters;

@@ -1216,11 +1216,16 @@ impl Machine {
     }
 
     /// Runs until every thread halts or `max_cycles` elapse. Returns
-    /// `true` if everything halted.
+    /// `true` if everything halted. The chunk granularity between halt
+    /// checks follows `PITON_WATCHDOG_CHUNK` (see [`crate::watchdog`]):
+    /// retirement is unaffected, but the clock coasts to the next chunk
+    /// boundary after the last thread halts, so smaller chunks stop the
+    /// clock closer to the true halt cycle.
     pub fn run_until_halted(&mut self, max_cycles: u64) -> bool {
+        let step = crate::watchdog::chunk_cycles();
         let end = self.now + max_cycles;
         while self.any_running() && self.now < end {
-            let chunk = 1_000.min(end - self.now);
+            let chunk = step.min(end - self.now);
             self.run(chunk);
         }
         !self.any_running()
@@ -1234,7 +1239,16 @@ impl Machine {
     /// occupancy, instead of a bare `false`.
     ///
     /// Pick `window` above the longest legitimate wait of the workload
-    /// (a cold memory miss holds a thread ~424 cycles).
+    /// (a cold memory miss holds a thread ~424 cycles);
+    /// [`Machine::run_until_halted_guarded`] supplies the
+    /// environment-tunable default. The chunk granularity between
+    /// progress checks follows `PITON_WATCHDOG_CHUNK` (see
+    /// [`crate::watchdog`]): retirement is unaffected, but the clock
+    /// coasts to the next chunk boundary after the last thread halts.
+    /// The loop also polls the runner's per-attempt
+    /// deadline budget (`piton_arch::deadline`), reporting a timeout
+    /// hang when the budget is blown so a wedged grid point degrades
+    /// into a retry or a hole.
     ///
     /// # Errors
     ///
@@ -1250,11 +1264,15 @@ impl Machine {
         window: u64,
     ) -> Result<(), HangReport> {
         assert!(window > 0, "watchdog window must be non-zero");
+        let step = crate::watchdog::chunk_cycles();
         let end = self.now + max_cycles;
         let mut last_retired = self.retired();
         let mut progress_at = self.now;
         while self.any_running() && self.now < end {
-            let chunk = 1_000.min(window).min(end - self.now);
+            if piton_arch::deadline::exceeded() {
+                return Err(self.hang_report(HangKind::Timeout, window));
+            }
+            let chunk = step.min(window).min(end - self.now);
             self.run(chunk);
             let retired = self.retired();
             if retired > last_retired {
@@ -1268,6 +1286,18 @@ impl Machine {
             return Err(self.hang_report(HangKind::Timeout, window));
         }
         Ok(())
+    }
+
+    /// [`Machine::run_until_halted_watched`] with the environment's
+    /// default hang window (`PITON_WATCHDOG_LIMIT`, see
+    /// [`crate::watchdog::limit_cycles`]).
+    ///
+    /// # Errors
+    ///
+    /// [`HangReport`] when the watchdog fires or the budget is
+    /// exhausted with threads still running.
+    pub fn run_until_halted_guarded(&mut self, max_cycles: u64) -> Result<(), HangReport> {
+        self.run_until_halted_watched(max_cycles, crate::watchdog::limit_cycles())
     }
 
     /// Snapshots the stuck state for a [`HangReport`].
@@ -1631,6 +1661,49 @@ mod tests {
         assert!(plain.run_until_halted(100_000));
         assert_eq!(watched.retired(), plain.retired());
         assert_eq!(watched.counters(), plain.counters());
+    }
+
+    #[test]
+    fn watchdog_chunk_size_never_changes_retirement() {
+        // Chunk granularity only decides how soon the loop notices the
+        // halt: retirement is identical, and a finer chunk stops the
+        // clock no later than the coarse one.
+        let mut coarse = machine();
+        coarse.load_thread(TileId::new(0), 0, count_loop(100));
+        assert!(coarse.run_until_halted_watched(100_000, 1_000).is_ok());
+        std::env::set_var("PITON_WATCHDOG_CHUNK", "77");
+        let mut fine = machine();
+        fine.load_thread(TileId::new(0), 0, count_loop(100));
+        let fine_result = fine.run_until_halted_watched(100_000, 1_000);
+        std::env::remove_var("PITON_WATCHDOG_CHUNK");
+        assert!(fine_result.is_ok());
+        assert_eq!(fine.retired(), coarse.retired());
+        assert!(
+            fine.now() <= coarse.now(),
+            "{} > {}",
+            fine.now(),
+            coarse.now()
+        );
+    }
+
+    #[test]
+    fn guarded_run_uses_the_default_window() {
+        let mut m = machine();
+        m.load_thread(TileId::new(0), 0, count_loop(100));
+        assert!(m.run_until_halted_guarded(100_000).is_ok());
+    }
+
+    #[test]
+    fn blown_deadline_fires_the_watchdog_as_a_timeout() {
+        use std::time::{Duration, Instant};
+        piton_arch::deadline::arm(Instant::now() - Duration::from_millis(1));
+        let mut m = machine();
+        m.load_thread(TileId::new(0), 0, count_loop(100));
+        let report = m.run_until_halted_watched(100_000, 1_000).unwrap_err();
+        piton_arch::deadline::disarm();
+        assert_eq!(report.kind, HangKind::Timeout);
+        let err: PitonError = report.into();
+        assert!(err.is_transient());
     }
 
     #[test]

@@ -1,0 +1,79 @@
+//! Environment-tunable watchdog knobs.
+//!
+//! The hang watchdog ([`crate::Machine::run_until_halted_watched`])
+//! has two operating parameters that long measurement campaigns need
+//! to tune without a rebuild:
+//!
+//! * **chunk** — how many cycles the machine runs between progress
+//!   checks (`PITON_WATCHDOG_CHUNK`, default
+//!   [`DEFAULT_CHUNK_CYCLES`]). Smaller chunks detect hangs and halts sooner at
+//!   slightly more loop overhead; retirement is identical at any chunk
+//!   size, though the clock coasts to the next chunk boundary after
+//!   the last thread halts.
+//! * **limit** — the default no-retirement window after which a run is
+//!   declared hung (`PITON_WATCHDOG_LIMIT`, default
+//!   [`DEFAULT_LIMIT_CYCLES`]). Must sit above the longest legitimate
+//!   wait of the workload (a cold memory miss holds a thread ~424
+//!   cycles).
+//!
+//! Values are read from the environment on every call rather than
+//! cached, so tests can set and unset them reliably; the `reproduce`
+//! binary records the effective values in the run manifest's metrics
+//! so an archived run is attributable to its watchdog configuration.
+//!
+//! # Examples
+//!
+//! ```
+//! use piton_sim::watchdog;
+//!
+//! // Unset or garbage environment falls back to the defaults.
+//! assert!(watchdog::chunk_cycles() >= 1);
+//! assert!(watchdog::limit_cycles() >= 1);
+//! ```
+
+/// Cycles per watchdog progress check when `PITON_WATCHDOG_CHUNK` is
+/// unset.
+pub const DEFAULT_CHUNK_CYCLES: u64 = 1_000;
+
+/// Default no-retirement hang window (cycles) when
+/// `PITON_WATCHDOG_LIMIT` is unset.
+pub const DEFAULT_LIMIT_CYCLES: u64 = 50_000;
+
+/// Parses a positive cycle count from `var`, falling back to `default`
+/// when unset, empty, non-numeric, or zero.
+fn env_cycles(var: &str, default: u64) -> u64 {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .filter(|&c| c > 0)
+        .unwrap_or(default)
+}
+
+/// The effective watchdog chunk size (`PITON_WATCHDOG_CHUNK`).
+#[must_use]
+pub fn chunk_cycles() -> u64 {
+    env_cycles("PITON_WATCHDOG_CHUNK", DEFAULT_CHUNK_CYCLES)
+}
+
+/// The effective default hang window (`PITON_WATCHDOG_LIMIT`).
+#[must_use]
+pub fn limit_cycles() -> u64 {
+    env_cycles("PITON_WATCHDOG_LIMIT", DEFAULT_LIMIT_CYCLES)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn garbage_and_zero_fall_back_to_defaults() {
+        assert_eq!(env_cycles("PITON_WATCHDOG_TEST_UNSET", 17), 17);
+        std::env::set_var("PITON_WATCHDOG_TEST_A", "not a number");
+        assert_eq!(env_cycles("PITON_WATCHDOG_TEST_A", 17), 17);
+        std::env::set_var("PITON_WATCHDOG_TEST_A", "0");
+        assert_eq!(env_cycles("PITON_WATCHDOG_TEST_A", 17), 17);
+        std::env::set_var("PITON_WATCHDOG_TEST_A", " 250 ");
+        assert_eq!(env_cycles("PITON_WATCHDOG_TEST_A", 17), 250);
+        std::env::remove_var("PITON_WATCHDOG_TEST_A");
+    }
+}

@@ -68,6 +68,7 @@ fn csv_and_render_agree_on_row_counts() {
         jobs: 2,
         fault: None,
         governor: piton::power::GovernorConfig::Off,
+        journal: None,
     });
     let csv = r.to_csv();
     // header + 4 patterns x 9 hop points

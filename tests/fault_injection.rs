@@ -89,6 +89,7 @@ proptest! {
             glitch_rate: 0.10,
             brownout: None,
             sabotage: Vec::new(),
+            crash: Vec::new(),
         };
         let truth = Watts(power_mw / 1e3);
         let run = || {

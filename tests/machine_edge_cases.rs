@@ -318,6 +318,7 @@ fn governor_throttles_through_a_brownout_and_recovers() {
             factor: 0.85,
         }),
         sabotage: vec![],
+        crash: vec![],
     });
     sys.machine_mut()
         .load_on_tiles(25, 0, &governed_spin_loop());

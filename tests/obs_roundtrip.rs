@@ -9,8 +9,8 @@
 
 use proptest::prelude::*;
 
-use piton::board::fault::{Brownout, FaultPlan, Sabotage, SabotageKind};
-use piton::obs::manifest::{HoleRecord, RunManifest, SectionRecord};
+use piton::board::fault::{Brownout, CrashPoint, FaultPlan, Sabotage, SabotageKind};
+use piton::obs::manifest::{HoleRecord, JournalStats, RunManifest, SectionRecord};
 use piton::obs::metrics::Histogram;
 use piton::obs::trace::{
     decode_jsonl, encode_jsonl, CacheKind, CacheLevel, EngineMode, TraceEvent,
@@ -121,6 +121,7 @@ proptest! {
             (0u8..2, 0usize..3, 0usize..64, 1u32..6),
             0..4,
         ),
+        crash in proptest::collection::vec((0usize..3, 0usize..64), 0..3),
     ) {
         const SECTIONS: [&str; 3] = ["epi", "noc", "scaling"];
         let zeroed = |bit: u8, r: f64| if zero_mask & bit != 0 { 0.0 } else { r };
@@ -144,6 +145,13 @@ proptest! {
                     } else {
                         SabotageKind::Flaky { failing_attempts: attempts }
                     },
+                })
+                .collect(),
+            crash: crash
+                .iter()
+                .map(|&(section, index)| CrashPoint {
+                    section: SECTIONS[section].to_owned(),
+                    index,
                 })
                 .collect(),
         };
@@ -196,7 +204,15 @@ proptest! {
             jobs,
             fault_plan: (with_fault == 1)
                 .then(|| FaultPlan::with_seed(jobs as u64).render()),
+            fault_effects: (with_fault == 1)
+                .then(|| FaultPlan::with_seed(jobs as u64).render()),
             governor: (jobs % 2 == 1).then(|| "throttle-on-boot".to_owned()),
+            journal: (jobs % 3 == 0).then(|| JournalStats {
+                served: jobs as u64,
+                appended: 46 - jobs as u64 % 47,
+                recovered: jobs as u64,
+                torn: u64::from(with_fault),
+            }),
             total_wall_s: wall.0,
             sections: vec![SectionRecord {
                 title: "Figure 11 — energy per instruction".to_owned(),
@@ -220,5 +236,84 @@ proptest! {
         let back = RunManifest::from_json(&doc)
             .unwrap_or_else(|e| panic!("manifest must parse back: {e}"));
         prop_assert_eq!(back, manifest);
+    }
+}
+
+/// A representative manifest with every optional block populated, used
+/// by the torn-input robustness tests below.
+fn dense_manifest() -> RunManifest {
+    let mut metrics = MetricsSnapshot::default();
+    metrics.counters.insert("journal.served".to_owned(), 104);
+    metrics
+        .gauges
+        .insert("watchdog.chunk_cycles".to_owned(), 1000.0);
+    let mut h = Histogram::default();
+    h.observe(7);
+    metrics.histograms.insert("engine.issue_duty".to_owned(), h);
+    RunManifest {
+        fidelity: "quick".to_owned(),
+        jobs: 4,
+        fault_plan: Some("seed=7,drop=0.25,kill=epi:3,crash=noc:1".to_owned()),
+        fault_effects: Some("seed=7,drop=0.25,kill=epi:3".to_owned()),
+        governor: Some("race-to-halt".to_owned()),
+        journal: Some(JournalStats {
+            served: 104,
+            appended: 20,
+            recovered: 104,
+            torn: 69,
+        }),
+        total_wall_s: 3.25,
+        sections: vec![SectionRecord {
+            title: "Figure 12 - NoC energy per flit".to_owned(),
+            wall_s: 0.5,
+            busy_s: 1.75,
+            sweeps: 1,
+            points: 36,
+        }],
+        holes: vec![HoleRecord {
+            section: "epi".to_owned(),
+            index: 3,
+            point: "add/Random".to_owned(),
+            attempts: 3,
+            error: "injected kill".to_owned(),
+        }],
+        metrics,
+    }
+}
+
+/// The decode path must be total over torn input: truncating a valid
+/// manifest at *every* byte offset yields a structured `PitonError` —
+/// never a panic, never a silently-accepted partial document.
+#[test]
+fn manifest_decode_rejects_every_truncation() {
+    let doc = dense_manifest().to_json();
+    // Stop before the closing brace: dropping only the trailing
+    // newline still leaves a complete document, which must decode.
+    for cut in 0..doc.trim_end().len() {
+        let torn = String::from_utf8_lossy(&doc.as_bytes()[..cut]);
+        assert!(
+            RunManifest::from_json(&torn).is_err(),
+            "truncation at byte {cut} must not decode: {torn:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary single-byte corruption of a valid manifest never
+    /// panics the decoder: it either still round-trips (the byte landed
+    /// in an equivalent encoding) or fails with a structured error.
+    #[test]
+    fn corrupted_manifest_never_panics(
+        offset in proptest::strategy::any::<u64>(),
+        byte in proptest::strategy::any::<u64>(),
+    ) {
+        let mut bytes = dense_manifest().to_json().into_bytes();
+        let len = bytes.len() as u64;
+        bytes[(offset % len) as usize] = (byte % 256) as u8;
+        let doc = String::from_utf8_lossy(&bytes).into_owned();
+        // Totality is the property: no panic, structured result.
+        let _ = RunManifest::from_json(&doc);
     }
 }

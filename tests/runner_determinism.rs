@@ -17,6 +17,7 @@ fn tiny(jobs: usize) -> Fidelity {
         jobs,
         fault: None,
         governor: piton::power::GovernorConfig::Off,
+        journal: None,
     }
 }
 
@@ -42,6 +43,50 @@ fn core_scaling_is_byte_identical_across_jobs_levels() {
     let serial = core_scaling::run_with_cores(&cores, tiny(1));
     let parallel = core_scaling::run_with_cores(&cores, tiny(3));
     assert_eq!(serial.render(), parallel.render());
+}
+
+/// The durable-sweep contract: a run resumed from *any* completed
+/// prefix of a write-ahead journal — including one with a torn
+/// trailing record — renders byte-identically to an uninterrupted,
+/// journal-free run, at a different jobs level than the original.
+#[test]
+fn resume_from_any_completed_prefix_is_byte_identical() {
+    use piton::characterization::journal::{self, Journal};
+
+    let baseline = noc_energy::run(tiny(1)).render();
+
+    let mut path = std::env::temp_dir();
+    path.push(format!("piton-determinism-journal-{}", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let token = journal::register(Journal::open(&path, "determinism-ctx").unwrap());
+    let journaled = noc_energy::run(tiny(4).with_journal(token));
+    assert_eq!(journaled.render(), baseline);
+    let stats = journal::resolve(token).lock().unwrap().stats();
+    assert_eq!(stats.appended, 4 * 9, "every noc grid point journaled");
+
+    // Truncate the journal at assorted byte offsets — a crash
+    // mid-append leaves exactly such files — and resume at jobs=1.
+    let full = std::fs::read(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+    for cut in [full.len() / 3, full.len() / 2, full.len() - 11] {
+        let mut partial = std::env::temp_dir();
+        partial.push(format!(
+            "piton-determinism-journal-{}-cut{cut}",
+            std::process::id()
+        ));
+        std::fs::write(&partial, &full[..cut]).unwrap();
+        let token = journal::register(Journal::open(&partial, "determinism-ctx").unwrap());
+        let resumed = noc_energy::run(tiny(1).with_journal(token));
+        assert_eq!(resumed.render(), baseline, "cut={cut}");
+        let stats = journal::resolve(token).lock().unwrap().stats();
+        assert_eq!(
+            stats.served + stats.appended,
+            4 * 9,
+            "served and recomputed points must cover the grid (cut={cut})"
+        );
+        assert!(stats.served > 0, "some points must be served (cut={cut})");
+        let _ = std::fs::remove_file(&partial);
+    }
 }
 
 /// A killed grid point must neither abort the sweep nor perturb any
