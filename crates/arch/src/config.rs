@@ -282,6 +282,60 @@ impl Default for MeasurementDefaults {
     }
 }
 
+/// Which experiment engine produces a run's numbers.
+///
+/// The cycle backend drives the bit-deterministic simulator through the
+/// virtual bench (the historical, oracle path); the analytic backend
+/// evaluates a closed-form model calibrated against cycle-level runs;
+/// `Both` runs the two on the same grid and reports their disagreement.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Backend {
+    /// Cycle-level simulation through the virtual bench (default).
+    #[default]
+    Cycle,
+    /// Closed-form analytic model, calibrated against the cycle engine.
+    Analytic,
+    /// Both engines on the same grid, with a cross-backend error table.
+    Both,
+}
+
+impl Backend {
+    /// Stable lower-case label used in CLI flags, journal context
+    /// strings and run manifests.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Cycle => "cycle",
+            Self::Analytic => "analytic",
+            Self::Both => "both",
+        }
+    }
+
+    /// Parses a CLI/label spelling; the error lists the accepted forms.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        match spec {
+            "cycle" => Ok(Self::Cycle),
+            "analytic" => Ok(Self::Analytic),
+            "both" => Ok(Self::Both),
+            other => Err(format!(
+                "unknown backend {other:?}: expected cycle, analytic or both"
+            )),
+        }
+    }
+
+    /// Whether this backend runs the cycle-level engine.
+    #[must_use]
+    pub fn runs_cycle(self) -> bool {
+        matches!(self, Self::Cycle | Self::Both)
+    }
+
+    /// Whether this backend runs the analytic model.
+    #[must_use]
+    pub fn runs_analytic(self) -> bool {
+        matches!(self, Self::Analytic | Self::Both)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -345,5 +399,17 @@ mod tests {
     fn vcs_tracks_vdd_plus_50mv() {
         let vcs = MeasurementDefaults::vcs_for(Volts(0.8));
         assert!((vcs.0 - 0.85).abs() < 1e-12);
+    }
+
+    #[test]
+    fn backend_labels_round_trip() {
+        for b in [Backend::Cycle, Backend::Analytic, Backend::Both] {
+            assert_eq!(Backend::parse(b.label()), Ok(b));
+        }
+        assert!(Backend::parse("fast").is_err());
+        assert_eq!(Backend::default(), Backend::Cycle);
+        assert!(Backend::Both.runs_cycle() && Backend::Both.runs_analytic());
+        assert!(!Backend::Analytic.runs_cycle());
+        assert!(!Backend::Cycle.runs_analytic());
     }
 }

@@ -44,6 +44,21 @@
 //! that grid point completes, strictly *after* its record is durably
 //! on disk.
 //!
+//! Backend selection (see `piton_core::analytic`): `--backend cycle`
+//! (the default; stdout is byte-identical to builds that predate the
+//! knob), `--backend analytic`, or `--backend both` — also settable
+//! via `PITON_BACKEND`. The analytic backend calibrates a closed-form
+//! power model against a battery of cycle-level probes, reproduces the
+//! power figures from three dot products per point, and finishes with
+//! the `design_space` mega-sweep the cycle engine could never run.
+//! `both` runs the full cycle flow *and* the analytic backend on the
+//! same grid and appends a per-figure analytic-vs-cycle error table;
+//! any figure over its committed error budget fails the run. The
+//! backend is part of the journal context, so a journal recorded under
+//! one backend refuses to resume under another. Analytic and `both`
+//! runs record the backend, fitted coefficients and fit residuals in
+//! the run manifest.
+//!
 //! Observability (see `piton_obs`): `--trace SPEC` (or `PITON_TRACE`)
 //! streams structured simulator events to a JSONL file — spec grammar
 //! in `piton_obs::trace::TraceSpec` — and every invocation writes a
@@ -56,15 +71,16 @@
 use std::time::{Duration, Instant};
 
 use piton_board::fault::{self, FaultPlan};
+use piton_core::analytic::{self, compare, predict};
 use piton_core::experiments::{
-    ablations, area, core_scaling, epi, governor, mem_latency, memory_energy, mt_vs_mc, noc_energy,
-    specint, static_idle, thermal, vf_sweep, yield_stats, Fidelity,
+    ablations, area, core_scaling, design_space, epi, governor, mem_latency, memory_energy,
+    mt_vs_mc, noc_energy, specint, static_idle, thermal, vf_sweep, yield_stats, Backend, Fidelity,
 };
 use piton_core::journal;
 use piton_core::report::Hole;
 use piton_core::runner;
 use piton_core::GovernorConfig;
-use piton_obs::manifest::{HoleRecord, RunManifest, SectionRecord};
+use piton_obs::manifest::{CalibrationRecord, HoleRecord, RunManifest, SectionRecord};
 use piton_obs::metrics;
 use piton_obs::trace::{self, TraceSpec};
 use piton_sim::watchdog;
@@ -165,6 +181,34 @@ fn parse_governor() -> GovernorConfig {
     }
 }
 
+/// Resolves the backend from `--backend=NAME` / `--backend NAME` or
+/// `PITON_BACKEND` (default `cycle`). Exits with status 2 on an
+/// unknown backend name.
+fn parse_backend() -> Backend {
+    let args: Vec<String> = std::env::args().collect();
+    let spec = args
+        .iter()
+        .enumerate()
+        .find_map(|(i, a)| {
+            a.strip_prefix("--backend=").map(str::to_owned).or_else(|| {
+                (a == "--backend")
+                    .then(|| args.get(i + 1).cloned())
+                    .flatten()
+            })
+        })
+        .or_else(|| std::env::var("PITON_BACKEND").ok());
+    match spec {
+        None => Backend::Cycle,
+        Some(spec) => match Backend::parse(&spec) {
+            Ok(backend) => backend,
+            Err(e) => {
+                eprintln!("reproduce: bad --backend: {e}");
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
 /// Resolves the trace spec from `--trace=SPEC` / `--trace SPEC` or
 /// `PITON_TRACE`. Exits with status 2 on a malformed spec.
 fn parse_trace_spec() -> Option<TraceSpec> {
@@ -231,23 +275,27 @@ fn parse_journal() -> (Option<String>, bool) {
 }
 
 /// The journal context spec: everything a served result must agree on
-/// — code version, fidelity and the result-affecting fault effects.
-/// `--jobs` is deliberately excluded (results are jobs-invariant), as
-/// are crash points (they decide when the process dies, never what it
-/// computes).
-fn journal_context(quick: bool, plan: Option<&FaultPlan>) -> String {
+/// — code version, fidelity, the result-affecting fault effects and
+/// the experiment backend. `--jobs` is deliberately excluded (results
+/// are jobs-invariant), as are crash points (they decide when the
+/// process dies, never what it computes). The backend is included
+/// unconditionally: a cycle journal must never be served to an
+/// analytic run or vice versa.
+fn journal_context(quick: bool, plan: Option<&FaultPlan>, backend: Backend) -> String {
     format!(
-        "piton/{}|fidelity={}|effects={}",
+        "piton/{}|fidelity={}|effects={}|backend={}",
         env!("CARGO_PKG_VERSION"),
         if quick { "quick" } else { "full" },
         plan.and_then(FaultPlan::render_effects)
-            .unwrap_or_else(|| "none".to_owned())
+            .unwrap_or_else(|| "none".to_owned()),
+        backend.label()
     )
 }
 
 fn main() {
     let quick = std::env::args().any(|a| a == "quick");
     let jobs = parse_jobs();
+    let backend = parse_backend();
     let governor_policy = parse_governor();
     let fault_plan = parse_fault_plan();
     let trace_spec = parse_trace_spec();
@@ -284,12 +332,13 @@ fn main() {
         Fidelity::full()
     }
     .with_jobs(jobs)
+    .with_backend(backend)
     .with_governor(governor_policy);
     if let Some(plan) = &fault_plan {
         fidelity = fidelity.with_fault(fault::register(plan.clone()));
     }
     let journal_token = journal_path.as_ref().map(|path| {
-        let context = journal_context(quick, fault_plan.as_ref());
+        let context = journal_context(quick, fault_plan.as_ref(), backend);
         if !resume {
             // A fresh durable run starts from a clean slate; only
             // `--resume` trusts (and recovers) an existing journal.
@@ -319,6 +368,9 @@ fn main() {
         "reproduce: {} fidelity, {jobs} sweep worker(s)",
         if quick { "quick" } else { "full" }
     );
+    if backend != Backend::Cycle {
+        eprintln!("reproduce: backend {}", backend.label());
+    }
     if !governor_policy.is_off() {
         eprintln!("reproduce: closed-loop governor family enabled (policy {governor_policy})");
     }
@@ -356,10 +408,6 @@ fn main() {
         "Figure 9 — voltage versus frequency",
         vf_sweep::run_with_jobs(jobs).render(),
     );
-    section(
-        "Figure 10 + Table V — static and idle power",
-        static_idle::run(fidelity).render(),
-    );
     let mut holes = 0usize;
     let mut hole_records: Vec<HoleRecord> = Vec::new();
     let record_holes = |records: &mut Vec<HoleRecord>, hs: &[Hole]| {
@@ -371,94 +419,185 @@ fn main() {
             error: h.error.clone(),
         }));
     };
-    let epi_result = epi::run(fidelity);
-    holes += epi_result.holes.len();
-    record_holes(&mut hole_records, &epi_result.holes);
-    write_csv("figure11_epi.csv", epi_result.to_csv());
-    section(
-        "Figure 11 + Table VI — energy per instruction",
-        epi_result.render(),
-    );
-    let mem_result = memory_energy::run(fidelity);
-    write_csv("table7_memory_energy.csv", mem_result.to_csv());
-    section("Table VII — memory system energy", mem_result.render());
-    let noc_result = noc_energy::run(fidelity);
-    holes += noc_result.holes.len();
-    record_holes(&mut hole_records, &noc_result.holes);
-    write_csv("figure12_noc_epf.csv", noc_result.to_csv());
-    section("Figure 12 — NoC energy per flit", noc_result.render());
-    let cores: Vec<usize> = if quick {
-        vec![1, 5, 9, 13, 17, 21, 25]
+    // Calibrate the analytic backend up front so the per-figure
+    // comparisons can ride along as each cycle result lands.
+    let cal = if backend.runs_analytic() {
+        let t_cal = Instant::now();
+        match analytic::calibrate(fidelity) {
+            Ok(cal) => {
+                eprintln!(
+                    "reproduce: analytic model fitted against {} cycle-level probe(s) in {:.1?}",
+                    cal.report.probes,
+                    t_cal.elapsed()
+                );
+                section(
+                    "Calibration — closed-form fit vs cycle-level probes",
+                    analytic::render_calibration(&cal),
+                );
+                Some(cal)
+            }
+            Err(e) => {
+                eprintln!("reproduce: calibration failed: {e}");
+                std::process::exit(2);
+            }
+        }
     } else {
-        (1..=25).collect()
+        None
     };
-    let scaling_result = core_scaling::run_with_cores(&cores, fidelity);
-    holes += scaling_result.holes.len();
-    record_holes(&mut hole_records, &scaling_result.holes);
-    section(
-        "Figure 13 — power scaling with core count",
-        scaling_result.render(),
-    );
-    let threads: Vec<usize> = if quick {
-        vec![8, 16, 24]
-    } else {
-        (1..=12).map(|k| 2 * k).collect()
-    };
-    section(
-        "Figure 14 — multithreading versus multicore",
-        mt_vs_mc::run_with_threads(&threads, fidelity).render(),
-    );
-    section(
-        "Table VIII — system specifications",
-        specint::SpecResult::render_table_viii(),
-    );
-    let spec_result = specint::run(fidelity);
-    write_csv("table9_specint.csv", spec_result.to_csv());
-    section(
-        "Table IX — SPECint 2006 performance, power, and energy",
-        spec_result.render(),
-    );
-    section(
-        "Figure 15 — memory latency breakdown",
-        mem_latency::run().render(),
-    );
-    section(
-        "Figure 16 — gcc-166 power time series",
-        specint::run_timeseries(if quick { 48 } else { 256 }, fidelity).render(),
-    );
-    section(
-        "Figure 17 — power versus temperature",
-        thermal::run_thermal_power(fidelity).render(),
-    );
-    section(
-        "Figure 18 — scheduling and thermal hysteresis",
-        thermal::run_scheduling(if quick { 64 } else { 180 }, 1.0, fidelity).render(),
-    );
-    if !governor_policy.is_off() {
+    let mut comparisons: Vec<compare::FigureComparison> = Vec::new();
+    let mut fig13_wall: Option<Duration> = None;
+    if backend.runs_cycle() {
+        let static_result = static_idle::run(fidelity);
+        if let Some(cal) = &cal {
+            comparisons.extend(compare::compare_static_idle(&static_result, cal));
+        }
         section(
-            "Figure 9 (closed loop) — governor throttle boundary",
-            governor::run_throttle_boundary(fidelity).render(),
+            "Figure 10 + Table V — static and idle power",
+            static_result.render(),
+        );
+        let epi_result = epi::run(fidelity);
+        holes += epi_result.holes.len();
+        record_holes(&mut hole_records, &epi_result.holes);
+        write_csv("figure11_epi.csv", epi_result.to_csv());
+        if let Some(cal) = &cal {
+            comparisons.push(compare::compare_epi(&epi_result, cal));
+        }
+        section(
+            "Figure 11 + Table VI — energy per instruction",
+            epi_result.render(),
+        );
+        let mem_result = memory_energy::run(fidelity);
+        write_csv("table7_memory_energy.csv", mem_result.to_csv());
+        section("Table VII — memory system energy", mem_result.render());
+        let noc_result = noc_energy::run(fidelity);
+        holes += noc_result.holes.len();
+        record_holes(&mut hole_records, &noc_result.holes);
+        write_csv("figure12_noc_epf.csv", noc_result.to_csv());
+        if let Some(cal) = &cal {
+            comparisons.push(compare::compare_noc(&noc_result, cal));
+        }
+        section("Figure 12 — NoC energy per flit", noc_result.render());
+        let cores: Vec<usize> = if quick {
+            vec![1, 5, 9, 13, 17, 21, 25]
+        } else {
+            (1..=25).collect()
+        };
+        let t_fig13 = Instant::now();
+        let scaling_result = core_scaling::run_with_cores(&cores, fidelity);
+        fig13_wall = Some(t_fig13.elapsed());
+        holes += scaling_result.holes.len();
+        record_holes(&mut hole_records, &scaling_result.holes);
+        if let Some(cal) = &cal {
+            comparisons.push(compare::compare_core_scaling(&scaling_result, cal));
+        }
+        section(
+            "Figure 13 — power scaling with core count",
+            scaling_result.render(),
+        );
+        let threads: Vec<usize> = if quick {
+            vec![8, 16, 24]
+        } else {
+            (1..=12).map(|k| 2 * k).collect()
+        };
+        let mt_result = mt_vs_mc::run_with_threads(&threads, fidelity);
+        if let Some(cal) = &cal {
+            comparisons.push(compare::compare_mt_vs_mc(&mt_result, cal));
+        }
+        section(
+            "Figure 14 — multithreading versus multicore",
+            mt_result.render(),
         );
         section(
-            "Figure 18 (closed loop) — governor scheduling hysteresis",
-            governor::run_hysteresis(if quick { 64 } else { 180 }, 1.0, fidelity).render(),
+            "Table VIII — system specifications",
+            specint::SpecResult::render_table_viii(),
+        );
+        let spec_result = specint::run(fidelity);
+        write_csv("table9_specint.csv", spec_result.to_csv());
+        section(
+            "Table IX — SPECint 2006 performance, power, and energy",
+            spec_result.render(),
         );
         section(
-            "Energy frontier — governor policies racing to completion",
-            governor::run_energy_frontier(fidelity).render(),
+            "Figure 15 — memory latency breakdown",
+            mem_latency::run().render(),
+        );
+        section(
+            "Figure 16 — gcc-166 power time series",
+            specint::run_timeseries(if quick { 48 } else { 256 }, fidelity).render(),
+        );
+        let thermal_result = thermal::run_thermal_power(fidelity);
+        if let Some(cal) = &cal {
+            comparisons.push(compare::compare_thermal(&thermal_result, cal));
+        }
+        section(
+            "Figure 17 — power versus temperature",
+            thermal_result.render(),
+        );
+        section(
+            "Figure 18 — scheduling and thermal hysteresis",
+            thermal::run_scheduling(if quick { 64 } else { 180 }, 1.0, fidelity).render(),
+        );
+        if !governor_policy.is_off() {
+            section(
+                "Figure 9 (closed loop) — governor throttle boundary",
+                governor::run_throttle_boundary(fidelity).render(),
+            );
+            section(
+                "Figure 18 (closed loop) — governor scheduling hysteresis",
+                governor::run_hysteresis(if quick { 64 } else { 180 }, 1.0, fidelity).render(),
+            );
+            section(
+                "Energy frontier — governor policies racing to completion",
+                governor::run_energy_frontier(fidelity).render(),
+            );
+        }
+        section(
+            "Ablations — design-choice sweeps (beyond the paper)",
+            format!(
+                "{}\n{}\n{}\n{}\n{}",
+                ablations::slice_mapping().render(),
+                ablations::render_store_buffer(&ablations::store_buffer_depth(fidelity)),
+                ablations::render_overhead(&ablations::dual_thread_overhead(fidelity)),
+                ablations::render_noc_split(&ablations::noc_energy_split(fidelity)),
+                ablations::execution_drafting(fidelity).render(),
+            ),
+        );
+    } else if let Some(cal) = &cal {
+        // Analytic-only: closed-form reproductions of the power
+        // figures (timing/functional studies have no fast path).
+        for (title, body) in predict::render_analytic_sections(cal) {
+            section(title, body);
+        }
+    }
+    if let Some(cal) = &cal {
+        let t_ds = Instant::now();
+        let ds = design_space::run(cal, fidelity);
+        let ds_wall = t_ds.elapsed();
+        holes += ds.holes.len();
+        record_holes(&mut hole_records, &ds.holes);
+        let evaluated = ds.evaluated();
+        section(
+            "Design space — analytic V/f/cores/mix mega-sweep",
+            ds.render(),
+        );
+        match fig13_wall {
+            Some(w) => eprintln!(
+                "reproduce: analytic design_space: {evaluated} point(s) in {ds_wall:.1?} vs cycle Figure 13 {w:.1?}"
+            ),
+            None => eprintln!(
+                "reproduce: analytic design_space: {evaluated} point(s) in {ds_wall:.1?}"
+            ),
+        }
+        if backend == Backend::Both {
+            comparisons.push(design_space::cycle_oracle(cal, fidelity));
+        }
+    }
+    if !comparisons.is_empty() {
+        section(
+            "Analytic vs cycle — per-figure conformance",
+            compare::error_table(&comparisons),
         );
     }
-    section(
-        "Ablations — design-choice sweeps (beyond the paper)",
-        format!(
-            "{}\n{}\n{}\n{}\n{}",
-            ablations::slice_mapping().render(),
-            ablations::render_store_buffer(&ablations::store_buffer_depth(fidelity)),
-            ablations::render_overhead(&ablations::dual_thread_overhead(fidelity)),
-            ablations::render_noc_split(&ablations::noc_energy_split(fidelity)),
-            ablations::execution_drafting(fidelity).render(),
-        ),
-    );
 
     // Per-section sweep speedup: how much grid-point work ran versus
     // the wall-clock the section took.
@@ -526,6 +665,31 @@ fn main() {
         fault_effects: fault_plan.as_ref().and_then(FaultPlan::render_effects),
         journal: journal_stats,
         governor: (!governor_policy.is_off()).then(|| governor_policy.label().to_owned()),
+        backend: (backend != Backend::Cycle).then(|| backend.label().to_owned()),
+        calibration: cal.as_ref().map(|cal| {
+            let mut coefficients = Vec::new();
+            for (names, pj) in [
+                (analytic::features::vdd_feature_names(), &cal.model.vdd_pj),
+                (analytic::features::vcs_feature_names(), &cal.model.vcs_pj),
+                (analytic::features::vio_feature_names(), &cal.model.vio_pj),
+            ] {
+                coefficients.extend(names.into_iter().zip(pj).map(|(n, &v)| (n, v)));
+            }
+            CalibrationRecord {
+                probes: cal.report.probes as u64,
+                residuals: ["VDD", "VCS", "VIO"]
+                    .iter()
+                    .zip(&cal.report.residuals)
+                    .map(|(name, r)| ((*name).to_owned(), r.max_rel, r.mean_rel))
+                    .collect(),
+                worst: cal
+                    .report
+                    .worst
+                    .clone()
+                    .map(|(probe, rail, rel)| (probe, rail.to_owned(), rel)),
+                coefficients,
+            }
+        }),
         total_wall_s: total.as_secs_f64(),
         sections: timings
             .iter()
@@ -548,6 +712,18 @@ fn main() {
 
     if holes > 0 {
         eprintln!("reproduce: {holes} grid point(s) lost to faults — tables contain marked holes");
+        std::process::exit(1);
+    }
+    let over_budget: Vec<_> = comparisons.iter().filter(|c| !c.within_budget()).collect();
+    if !over_budget.is_empty() {
+        for c in &over_budget {
+            eprintln!(
+                "reproduce: {} exceeds its analytic error budget: max {:.3}% > {:.1}%",
+                c.figure,
+                c.max_rel() * 100.0,
+                c.budget * 100.0
+            );
+        }
         std::process::exit(1);
     }
 }

@@ -24,6 +24,7 @@ pub fn bench_fidelity() -> Fidelity {
         fault: None,
         governor: piton_core::GovernorConfig::Off,
         journal: None,
+        backend: piton_core::experiments::Backend::Cycle,
     }
 }
 

@@ -1,0 +1,406 @@
+//! The auto-calibration battery: a small set of cycle-level runs the
+//! closed-form coefficients are fitted against.
+//!
+//! Each probe replays one of the paper experiments' measurement idioms
+//! (the Figure 11 EPI tests on Chip #2, the Figure 12 invalidation
+//! traffic at a typical corner, the Figure 13/14 microbenchmarks on
+//! Chip #3, the Figure 17 thermal-study system) and records three
+//! things: the window's per-cycle activity rates, the operating point,
+//! and the measured *dynamic* rail power (measured total minus the
+//! closed-form leakage at that point). The fit then solves, per rail,
+//! for the nominal per-event energies that best explain every probe at
+//! once — and the same rate profiles double as the workload library the
+//! analytic predictors evaluate.
+
+use piton_arch::error::PitonError;
+use piton_arch::isa::OperandPattern;
+use piton_arch::topology::{Mesh, TileId};
+use piton_board::system::PitonSystem;
+use piton_power::calibration::least_squares_damped;
+use piton_power::model::{ChipCorner, OperatingPoint};
+use piton_sim::machine::SwitchPattern;
+use piton_workloads::epi::{epi_test, EpiCase};
+use piton_workloads::micro::{load_microbenchmark, Microbenchmark, RunLength, ThreadsPerCore};
+
+use super::features::{self, Features};
+use super::model::AnalyticModel;
+use crate::experiments::Fidelity;
+use crate::runner;
+
+/// Core-count knots the microbenchmark probes sample; rate profiles at
+/// other core counts are piecewise-linear interpolations between them.
+/// Dense enough (4-core gaps) that saturating workloads like `hist`
+/// interpolate within the committed figure budgets.
+pub const MICRO_KNOTS: [usize; 7] = [1, 5, 9, 13, 17, 21, 25];
+/// Hop-count knots the NoC traffic probes sample; per-feature linear
+/// fits over them extend the profile to the full 0..=8 hop axis. Hop 0
+/// is probed directly — it anchors the EPF baseline.
+pub const NOC_KNOTS: [usize; 4] = [0, 2, 5, 8];
+/// Thread counts of the Figure 17 thermal-study probes (the figure's
+/// own x-axis — six points is small enough to probe directly).
+pub const FIG17_THREADS: [usize; 6] = [0, 10, 20, 30, 40, 50];
+
+/// Relative Tikhonov damping for the battery fit: tiny enough to leave
+/// well-conditioned coefficients untouched, large enough to keep
+/// physically collinear counters (a store and its buffer enqueue) from
+/// collapsing a pivot.
+const FIT_LAMBDA: f64 = 1e-9;
+/// Residual floor (W): disagreement on rails idling in the noise is
+/// not meaningful, so relative residuals are taken against at least
+/// this much dynamic power.
+pub const RESIDUAL_FLOOR_W: f64 = 0.005;
+
+/// What one probe exercises.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProbeKind {
+    /// Chip #2 idle (clocks running, threads parked).
+    Idle,
+    /// One Figure 11 assembly test on all 25 cores of Chip #2.
+    Epi(EpiCase, OperandPattern),
+    /// Figure 12 invalidation traffic at one hop distance.
+    Noc(SwitchPattern, usize),
+    /// One microbenchmark configuration on Chip #3.
+    Micro(Microbenchmark, ThreadsPerCore, usize),
+    /// The Figure 17 thermal-study workload at one thread count.
+    Fig17(usize),
+}
+
+impl ProbeKind {
+    /// Short label for fit diagnostics.
+    #[must_use]
+    pub fn label(self) -> String {
+        match self {
+            Self::Idle => "idle".to_owned(),
+            Self::Epi(case, pattern) => format!("epi {}/{pattern}", case.label()),
+            Self::Noc(pattern, hops) => format!("noc {} hop {hops}", pattern.label()),
+            Self::Micro(bench, tpc, cores) => {
+                format!("micro {} {} @ {cores}", bench.label(), tpc.label())
+            }
+            Self::Fig17(threads) => format!("fig17 {threads} threads"),
+        }
+    }
+}
+
+/// One completed cycle-level calibration run.
+#[derive(Debug, Clone)]
+pub struct Probe {
+    /// What was exercised.
+    pub kind: ProbeKind,
+    /// Per-cycle activity rates over the measurement window.
+    pub rates: Features,
+    /// Operating point the window was measured at.
+    pub op: OperatingPoint,
+    /// Die corner of the probed system.
+    pub corner: ChipCorner,
+    /// Measured dynamic rail power (W): measured total minus the
+    /// closed-form leakage at `op`.
+    pub dynamic_w: [f64; 3],
+}
+
+/// The probe list: idle + every Figure 11 cell + NoC pattern×knot +
+/// microbenchmark knots + the Figure 17 thread axis.
+#[must_use]
+pub fn probe_specs() -> Vec<ProbeKind> {
+    let mut specs = vec![ProbeKind::Idle];
+    for case in EpiCase::figure_11() {
+        let patterns: &[OperandPattern] = if case.has_value_operands() {
+            &OperandPattern::ALL
+        } else {
+            &[OperandPattern::Random]
+        };
+        specs.extend(patterns.iter().map(|&p| ProbeKind::Epi(case, p)));
+    }
+    for pattern in SwitchPattern::ALL {
+        specs.extend(NOC_KNOTS.iter().map(|&h| ProbeKind::Noc(pattern, h)));
+    }
+    for bench in Microbenchmark::ALL {
+        for tpc in [ThreadsPerCore::One, ThreadsPerCore::Two] {
+            specs.extend(
+                MICRO_KNOTS
+                    .iter()
+                    .map(move |&cores| ProbeKind::Micro(bench, tpc, cores)),
+            );
+        }
+    }
+    specs.extend(FIG17_THREADS.iter().map(|&t| ProbeKind::Fig17(t)));
+    specs
+}
+
+/// Subtracts the closed-form leakage from a measured rail triple.
+fn dynamic_of(sys: &PitonSystem, measured: [f64; 3], op: OperatingPoint) -> [f64; 3] {
+    let leak = sys.power_model().static_power(op);
+    [
+        measured[0] - leak.vdd.0,
+        measured[1] - leak.vcs.0,
+        measured[2] - leak.vio.0,
+    ]
+}
+
+/// Measures one monitor window while tracking the activity delta it
+/// covers.
+fn measured_window(
+    sys: &mut PitonSystem,
+    fidelity: Fidelity,
+) -> Result<(Features, OperatingPoint, [f64; 3]), PitonError> {
+    let before = sys.machine().counters().clone();
+    let m = sys.try_measure(fidelity.samples)?;
+    let delta = sys.machine().counters().delta_since(&before);
+    let op = sys.operating_point();
+    let dynamic = dynamic_of(sys, [m.vdd.mean.0, m.vcs.mean.0, m.vio.mean.0], op);
+    Ok((Features::rates(&delta), op, dynamic))
+}
+
+fn run_probe(kind: ProbeKind, fidelity: Fidelity) -> Result<Probe, PitonError> {
+    match kind {
+        ProbeKind::Idle => {
+            let mut sys = PitonSystem::reference_chip_2();
+            sys.set_chunk_cycles(fidelity.chunk_cycles);
+            sys.warm_up(fidelity.warmup_cycles);
+            let (rates, op, dynamic_w) = measured_window(&mut sys, fidelity)?;
+            Ok(Probe {
+                kind,
+                rates,
+                op,
+                corner: sys.power_model().corner(),
+                dynamic_w,
+            })
+        }
+        ProbeKind::Epi(case, pattern) => {
+            let mut sys = PitonSystem::reference_chip_2();
+            sys.set_chunk_cycles(fidelity.chunk_cycles);
+            for t in 0..25 {
+                sys.machine_mut().load_thread(
+                    piton_arch::TileId::new(t),
+                    0,
+                    epi_test(case, pattern, t),
+                );
+            }
+            sys.warm_up(fidelity.warmup_cycles);
+            let (rates, op, dynamic_w) = measured_window(&mut sys, fidelity)?;
+            Ok(Probe {
+                kind,
+                rates,
+                op,
+                corner: sys.power_model().corner(),
+                dynamic_w,
+            })
+        }
+        ProbeKind::Noc(pattern, hops) => {
+            // Mirrors the Figure 12 methodology: power computed from
+            // the model over the traffic window (noise-free), thermal
+            // state never advanced.
+            let mesh = Mesh::piton();
+            let dst = mesh
+                .tile_at_distance(TileId::new(0), hops)
+                .expect("5x5 mesh covers 0..=8 hops");
+            let mut sys = PitonSystem::new(
+                &piton_arch::config::ChipConfig::piton(),
+                ChipCorner::typical(),
+                0xA0 + hops as u64,
+            );
+            sys.set_chunk_cycles(fidelity.chunk_cycles);
+            sys.machine_mut()
+                .run_invalidation_traffic(dst, pattern, fidelity.warmup_cycles / 4);
+            let before = sys.machine().counters().clone();
+            sys.machine_mut().run_invalidation_traffic(
+                dst,
+                pattern,
+                fidelity.chunk_cycles * fidelity.samples as u64,
+            );
+            let delta = sys.machine().counters().delta_since(&before);
+            let op = sys.operating_point();
+            let p = sys.power_model().power(&delta, op);
+            Ok(Probe {
+                kind,
+                rates: Features::rates(&delta),
+                op,
+                corner: sys.power_model().corner(),
+                dynamic_w: dynamic_of(&sys, [p.vdd.0, p.vcs.0, p.vio.0], op),
+            })
+        }
+        ProbeKind::Micro(bench, tpc, cores) => {
+            let mut sys = PitonSystem::reference_chip_3();
+            sys.set_chunk_cycles(fidelity.chunk_cycles);
+            load_microbenchmark(
+                sys.machine_mut(),
+                bench,
+                cores * tpc.count(),
+                tpc,
+                RunLength::Forever,
+            );
+            sys.warm_up(fidelity.warmup_cycles);
+            let (rates, op, dynamic_w) = measured_window(&mut sys, fidelity)?;
+            Ok(Probe {
+                kind,
+                rates,
+                op,
+                corner: sys.power_model().corner(),
+                dynamic_w,
+            })
+        }
+        ProbeKind::Fig17(threads) => {
+            // Mirrors the Figure 17 capture: same corner, 0.9 V /
+            // 100 MHz, activity delta over chunk × samples cycles with
+            // model-derived (noise-free) power.
+            let i = FIG17_THREADS
+                .iter()
+                .position(|&t| t == threads)
+                .expect("thread count from FIG17_THREADS");
+            let corner = ChipCorner {
+                speed: 1.01,
+                leakage: 0.95,
+                dynamic: 1.02,
+            };
+            let mut sys = PitonSystem::new(
+                &piton_arch::config::ChipConfig::piton(),
+                corner,
+                0x17 + i as u64,
+            );
+            sys.set_vdd_tracked(piton_arch::units::Volts(0.9));
+            sys.set_frequency(piton_arch::units::Hertz::from_mhz(100.01));
+            sys.set_chunk_cycles(fidelity.chunk_cycles);
+            if threads > 0 {
+                load_microbenchmark(
+                    sys.machine_mut(),
+                    Microbenchmark::Hp,
+                    threads,
+                    ThreadsPerCore::Two,
+                    RunLength::Forever,
+                );
+            }
+            sys.warm_up(fidelity.warmup_cycles);
+            let before = sys.machine().counters().clone();
+            sys.machine_mut()
+                .run(fidelity.chunk_cycles * fidelity.samples as u64);
+            let delta = sys.machine().counters().delta_since(&before);
+            let op = sys.operating_point();
+            let p = sys.power_model().power(&delta, op);
+            Ok(Probe {
+                kind,
+                rates: Features::rates(&delta),
+                op,
+                corner,
+                dynamic_w: dynamic_of(&sys, [p.vdd.0, p.vcs.0, p.vio.0], op),
+            })
+        }
+    }
+}
+
+/// Runs the whole battery across the fidelity's sweep workers.
+///
+/// # Errors
+///
+/// Propagates the first probe failure (probes run fault-free, so this
+/// only surfaces engine-level deadline errors).
+pub fn run_battery(fidelity: Fidelity) -> Result<Vec<Probe>, PitonError> {
+    let specs = probe_specs();
+    runner::sweep(fidelity.jobs, specs, |_, kind| run_probe(kind, fidelity))
+        .into_iter()
+        .collect()
+}
+
+/// Per-rail fit quality over the battery.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RailResidual {
+    /// Largest relative residual across probes.
+    pub max_rel: f64,
+    /// Mean relative residual across probes.
+    pub mean_rel: f64,
+}
+
+/// The calibration outcome the run manifest records.
+#[derive(Debug, Clone)]
+pub struct FitReport {
+    /// Number of cycle-level probes fitted against.
+    pub probes: usize,
+    /// Residuals per rail, in `[vdd, vcs, vio]` order.
+    pub residuals: [RailResidual; 3],
+    /// The single worst probe: `(probe label, rail name, relative
+    /// residual)`.
+    pub worst: Option<(String, &'static str, f64)>,
+}
+
+/// Converts a probe's measured dynamic power (W) to nominal pJ/cycle on
+/// one rail — the target space the least-squares fit runs in.
+fn nominal_target_pj(probe: &Probe, scales: [f64; 3], rail: usize) -> f64 {
+    let f_hz = 1.0 / probe.op.freq.period().0;
+    probe.dynamic_w[rail] / (scales[rail] * f_hz) * 1e12
+}
+
+/// Fits the coefficient vectors against a battery of probes.
+///
+/// # Errors
+///
+/// [`PitonError::DegenerateFit`] if the battery cannot identify the
+/// active columns (fewer probes than active features, or a pivot
+/// collapse the damping cannot rescue).
+pub fn fit(probes: &[Probe]) -> Result<(AnalyticModel, FitReport), PitonError> {
+    // The damping below is meant to split energy across *aliased*
+    // columns, not to conjure coefficients out of repetition: a
+    // battery with fewer distinct rate profiles than VDD features is
+    // rank-deficient no matter how many probes it holds, and must be
+    // refused before the regularizer papers over it.
+    let mut distinct: Vec<&Features> = Vec::new();
+    for p in probes {
+        if !distinct.contains(&&p.rates) {
+            distinct.push(&p.rates);
+        }
+    }
+    if distinct.len() < features::VDD_FEATURES {
+        return Err(PitonError::DegenerateFit {
+            points: distinct.len(),
+            reason: "fewer distinct probe profiles than model coefficients",
+        });
+    }
+    // Voltage scales depend only on the shared technology curves, so
+    // any model instance computes them; the reference's coefficients
+    // are never consulted here.
+    let scaler = AnalyticModel::reference();
+    let per_rail = |rail: usize, rows: Vec<Vec<f64>>| -> Result<Vec<f64>, PitonError> {
+        let targets: Vec<f64> = probes
+            .iter()
+            .map(|p| nominal_target_pj(p, scaler.dynamic_scales(p.op, p.corner), rail))
+            .collect();
+        least_squares_damped(&rows, &targets, FIT_LAMBDA)
+    };
+    let vdd = per_rail(0, probes.iter().map(|p| p.rates.vdd.clone()).collect())?;
+    let vcs = per_rail(1, probes.iter().map(|p| p.rates.vcs.clone()).collect())?;
+    let vio = per_rail(2, probes.iter().map(|p| p.rates.vio.clone()).collect())?;
+    let model = AnalyticModel::fitted(vdd, vcs, vio);
+
+    // Residuals in the measured (watts) domain: how far each probe's
+    // predicted dynamic power lands from what the bench reported.
+    const RAILS: [&str; 3] = ["vdd", "vcs", "vio"];
+    let mut residuals = [RailResidual {
+        max_rel: 0.0,
+        mean_rel: 0.0,
+    }; 3];
+    let mut worst: Option<(String, &'static str, f64)> = None;
+    for (rail, name) in RAILS.iter().enumerate() {
+        let mut sum = 0.0;
+        for p in probes {
+            let scales = model.dynamic_scales(p.op, p.corner);
+            let f_hz = 1.0 / p.op.freq.period().0;
+            let nominal = model.dynamic_nominal_pj(&p.rates);
+            let pred = [nominal.0, nominal.1, nominal.2][rail] * scales[rail] * f_hz * 1e-12;
+            let rel =
+                (pred - p.dynamic_w[rail]).abs() / p.dynamic_w[rail].abs().max(RESIDUAL_FLOOR_W);
+            sum += rel;
+            if rel > residuals[rail].max_rel {
+                residuals[rail].max_rel = rel;
+            }
+            if worst.as_ref().is_none_or(|w| rel > w.2) {
+                worst = Some((p.kind.label(), name, rel));
+            }
+        }
+        residuals[rail].mean_rel = sum / probes.len().max(1) as f64;
+    }
+    Ok((
+        model,
+        FitReport {
+            probes: probes.len(),
+            residuals,
+            worst,
+        },
+    ))
+}

@@ -1,0 +1,156 @@
+//! The analytic fast-path backend: closed-form power predictions
+//! calibrated against — and checked against — the cycle engine.
+//!
+//! The cycle engine is the oracle: it simulates every core, cache and
+//! flit and reads power off the modelled rails. This module replays a
+//! small battery of cycle-level probes ([`battery`]), fits per-event
+//! energy coefficients to them by least squares, and then answers the
+//! same experimental questions with three dot products per evaluation
+//! ([`model`], [`predict`]). A conformance layer ([`compare`]) keeps
+//! the two backends honest by bounding the analytic error per figure
+//! against committed budgets.
+//!
+//! The payoff is scale: the `design_space` mega-sweep evaluates grids
+//! the cycle engine could never finish, while `--backend both` keeps a
+//! running proof that the fast path still agrees with the oracle.
+
+pub mod battery;
+pub mod compare;
+pub mod features;
+pub mod model;
+pub mod predict;
+
+pub use battery::{FitReport, Probe, ProbeKind, RailResidual};
+pub use features::Features;
+pub use model::AnalyticModel;
+
+use piton_arch::error::PitonError;
+use piton_arch::isa::OperandPattern;
+use piton_sim::machine::SwitchPattern;
+use piton_workloads::epi::EpiCase;
+use piton_workloads::micro::{Microbenchmark, ThreadsPerCore};
+
+use crate::experiments::Fidelity;
+use crate::report::Table;
+
+/// A fitted model together with the probe battery that produced it —
+/// the probes double as the workload rate library the predictors
+/// interpolate over.
+#[derive(Debug, Clone)]
+pub struct Calibrated {
+    /// The fitted closed-form model.
+    pub model: AnalyticModel,
+    /// Fit quality (recorded in the run manifest).
+    pub report: FitReport,
+    /// The cycle-level probes the fit ran against.
+    pub probes: Vec<Probe>,
+}
+
+impl Calibrated {
+    fn find(&self, kind: ProbeKind) -> &Probe {
+        self.probes
+            .iter()
+            .find(|p| p.kind == kind)
+            .expect("probe battery covers every spec")
+    }
+
+    /// The Chip #2 idle probe.
+    #[must_use]
+    pub fn idle(&self) -> &Probe {
+        self.find(ProbeKind::Idle)
+    }
+
+    /// One Figure 11 EPI probe.
+    #[must_use]
+    pub fn epi(&self, case: EpiCase, pattern: OperandPattern) -> &Probe {
+        self.find(ProbeKind::Epi(case, pattern))
+    }
+
+    /// One NoC traffic probe at a hop knot.
+    #[must_use]
+    pub fn noc(&self, pattern: SwitchPattern, hops: usize) -> &Probe {
+        self.find(ProbeKind::Noc(pattern, hops))
+    }
+
+    /// One microbenchmark probe at a core-count knot.
+    #[must_use]
+    pub fn micro(&self, bench: Microbenchmark, tpc: ThreadsPerCore, cores: usize) -> &Probe {
+        self.find(ProbeKind::Micro(bench, tpc, cores))
+    }
+
+    /// One Figure 17 thermal-study probe.
+    #[must_use]
+    pub fn fig17(&self, threads: usize) -> &Probe {
+        self.find(ProbeKind::Fig17(threads))
+    }
+
+    /// Rate profile of a microbenchmark configuration at an arbitrary
+    /// core count: piecewise-linear between the probed
+    /// [`battery::MICRO_KNOTS`], clamped at the ends.
+    #[must_use]
+    pub fn micro_rates_at(
+        &self,
+        bench: Microbenchmark,
+        tpc: ThreadsPerCore,
+        cores: f64,
+    ) -> Features {
+        let knots = battery::MICRO_KNOTS;
+        let first = knots[0];
+        let last = knots[knots.len() - 1];
+        if cores <= first as f64 {
+            return self.micro(bench, tpc, first).rates.clone();
+        }
+        for w in knots.windows(2) {
+            let (lo, hi) = (w[0], w[1]);
+            if cores <= hi as f64 {
+                let t = (cores - lo as f64) / (hi - lo) as f64;
+                return self
+                    .micro(bench, tpc, lo)
+                    .rates
+                    .lerp(&self.micro(bench, tpc, hi).rates, t);
+            }
+        }
+        self.micro(bench, tpc, last).rates.clone()
+    }
+}
+
+/// Runs the probe battery at the given fidelity and fits the model.
+///
+/// # Errors
+///
+/// Propagates probe failures and [`PitonError::DegenerateFit`] from
+/// the least-squares solve.
+pub fn calibrate(fidelity: Fidelity) -> Result<Calibrated, PitonError> {
+    let probes = battery::run_battery(fidelity)?;
+    let (model, report) = battery::fit(&probes)?;
+    Ok(Calibrated {
+        model,
+        report,
+        probes,
+    })
+}
+
+/// Renders the calibration section of an analytic/both report.
+#[must_use]
+pub fn render_calibration(cal: &Calibrated) -> String {
+    let mut t = Table::new("Calibration: closed-form fit vs cycle-level probes");
+    t.header(["Rail", "Max residual", "Mean residual"]);
+    for (name, r) in ["VDD", "VCS", "VIO"].iter().zip(&cal.report.residuals) {
+        t.row([
+            (*name).to_owned(),
+            format!("{:.3}%", r.max_rel * 100.0),
+            format!("{:.3}%", r.mean_rel * 100.0),
+        ]);
+    }
+    let worst = match &cal.report.worst {
+        Some((label, rail, rel)) => {
+            format!("worst probe: {label} ({rail}, {:.3}%)", rel * 100.0)
+        }
+        None => "worst probe: none".to_owned(),
+    };
+    format!(
+        "{}\nfitted against {} cycle-level probes; {worst}\n",
+        t.render(),
+        cal.report.probes
+    )
+}

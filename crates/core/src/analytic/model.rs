@@ -1,0 +1,265 @@
+//! The closed-form power model: three coefficient vectors plus the
+//! shared technology curves.
+//!
+//! [`AnalyticModel::power`] mirrors the cycle engine's
+//! [`piton_power::model::PowerModel::power`] term for term — nominal
+//! per-event energies scaled by the alpha-power voltage law and the
+//! die's process corner, leakage from the same exponential
+//! temperature/voltage curves — but takes a *per-cycle rate profile*
+//! instead of a simulated window, so one evaluation is three dot
+//! products and a handful of exponentials instead of thousands of
+//! simulated cycles.
+
+use piton_arch::units::{Volts, Watts};
+use piton_power::calibration::Calibration;
+use piton_power::model::{ChipCorner, OperatingPoint, RailPower};
+use piton_power::tech::TechModel;
+use piton_power::thermal::T_CLAMP_C;
+
+use super::features::{self, Features};
+
+const V_NOM_VDD: Volts = Volts(1.00);
+const V_NOM_VCS: Volts = Volts(1.05);
+const V_NOM_VIO: Volts = Volts(1.80);
+
+/// The calibrated closed-form model (corner-independent: the die corner
+/// is applied per evaluation, exactly as the cycle engine does).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyticModel {
+    /// Nominal VDD energy per feature unit (pJ), laid out per
+    /// [`features::vdd_feature_names`].
+    pub vdd_pj: Vec<f64>,
+    /// Nominal VCS energy per feature unit (pJ).
+    pub vcs_pj: Vec<f64>,
+    /// Nominal VIO energy per feature unit (pJ).
+    pub vio_pj: Vec<f64>,
+    /// Static rail power at the calibration temperature (mW).
+    pub static_mw: [f64; 3],
+    /// Leakage calibration temperature (°C).
+    pub static_t0_c: f64,
+    tech: TechModel,
+}
+
+impl AnalyticModel {
+    /// Builds a model from fitted coefficient vectors, with the static
+    /// block taken from the hand calibration (leakage is not fitted —
+    /// it is already closed-form in both engines).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a vector length disagrees with the feature layout.
+    #[must_use]
+    pub fn fitted(vdd_pj: Vec<f64>, vcs_pj: Vec<f64>, vio_pj: Vec<f64>) -> Self {
+        assert_eq!(vdd_pj.len(), features::VDD_FEATURES);
+        assert_eq!(vcs_pj.len(), features::VCS_FEATURES);
+        assert_eq!(vio_pj.len(), features::VIO_FEATURES);
+        let c = Calibration::piton_hpca18();
+        Self {
+            vdd_pj,
+            vcs_pj,
+            vio_pj,
+            static_mw: [c.static_vdd_mw, c.static_vcs_mw, c.static_vio_mw],
+            static_t0_c: c.static_calibration_temp_c,
+            tech: TechModel::ibm32soi(),
+        }
+    }
+
+    /// The reference model: coefficient vectors copied straight out of
+    /// [`Calibration::piton_hpca18`]. Predictions from this model match
+    /// the cycle engine's power law exactly on any activity window, so
+    /// it anchors the property tests and the calibrate→predict
+    /// round-trip.
+    #[must_use]
+    pub fn reference() -> Self {
+        let c = Calibration::piton_hpca18();
+        let mut vdd = vec![0.0_f64; features::VDD_FEATURES];
+        vdd[0] = c.clock_vdd_pj_per_cycle;
+        vdd[1] = c.active_core_pj_per_cycle;
+        vdd[2] = c.stall_pj_per_cycle;
+        vdd[3] = c.dual_thread_pj_per_cycle;
+        vdd[features::DRAFTED] = -c.execd_saving_pj;
+        for (i, e) in c.instr.iter().enumerate() {
+            vdd[5 + i] = e.base_pj;
+            vdd[5 + piton_arch::isa::Opcode::COUNT + i] = e.value_pj;
+        }
+        let tail = [
+            c.l15_miss_pj,
+            c.invalidation_pj,
+            c.load_rollback_pj,
+            c.store_rollback_pj,
+            c.sb_enqueue_pj,
+            c.noc_flit_hop_pj,
+            c.noc_bit_switch_pj,
+            c.noc_coupling_pj,
+            c.noc_route_pj,
+            c.offchip_request_pj,
+            c.bridge_flit_vdd_pj,
+        ];
+        let tail_base = features::VDD_FEATURES - tail.len();
+        vdd[tail_base..].copy_from_slice(&tail);
+        let vcs = vec![
+            c.clock_vcs_pj_per_cycle,
+            c.l1i_pj,
+            c.l1d_read_pj,
+            c.l1d_write_pj,
+            c.l15_read_pj,
+            c.l15_write_pj,
+            c.l15_writeback_pj,
+            c.l2_read_pj,
+            c.l2_write_pj,
+            c.dir_pj,
+        ];
+        let vio = vec![c.bridge_flit_vio_pj, c.io_transaction_pj];
+        Self::fitted(vdd, vcs, vio)
+    }
+
+    /// Nominal dynamic energy of a feature vector, per rail (pJ per
+    /// feature-unit — pJ/cycle when given a rate profile). The VDD sum
+    /// is clamped at zero so the drafted-issue saving can never drive
+    /// energy negative, mirroring the cycle model's clamp.
+    #[must_use]
+    pub fn dynamic_nominal_pj(&self, f: &Features) -> (f64, f64, f64) {
+        let dot = |c: &[f64], x: &[f64]| c.iter().zip(x).map(|(a, b)| a * b).sum::<f64>();
+        (
+            dot(&self.vdd_pj, &f.vdd).max(0.0),
+            dot(&self.vcs_pj, &f.vcs),
+            dot(&self.vio_pj, &f.vio),
+        )
+    }
+
+    /// Static (leakage) power at an operating point and corner — the
+    /// same exponential curves as the cycle engine's
+    /// [`piton_power::model::PowerModel::static_power`].
+    #[must_use]
+    pub fn static_power(&self, op: OperatingPoint, corner: ChipCorner) -> RailPower {
+        let t_scale = self
+            .tech
+            .leakage_temperature_scale(op.junction_c.min(T_CLAMP_C), self.static_t0_c)
+            * corner.leakage;
+        let vdd_scale = self.tech.leakage_voltage_scale(op.vdd, V_NOM_VDD);
+        let vcs_scale = self.tech.leakage_voltage_scale(op.vcs, V_NOM_VCS);
+        RailPower {
+            vdd: Watts::from_mw(self.static_mw[0] * vdd_scale * t_scale),
+            vcs: Watts::from_mw(self.static_mw[1] * vcs_scale * t_scale),
+            vio: Watts::from_mw(self.static_mw[2]),
+        }
+    }
+
+    /// Total rail power of a per-cycle rate profile at an operating
+    /// point and corner: dynamic dot products voltage-scaled and spread
+    /// over the cycle time, plus leakage.
+    #[must_use]
+    pub fn power(&self, rates: &Features, op: OperatingPoint, corner: ChipCorner) -> RailPower {
+        let (vdd_pj, vcs_pj, vio_pj) = self.dynamic_nominal_pj(rates);
+        let f_hz = 1.0 / op.freq.period().0;
+        let vdd_scale = self.tech.dynamic_scale(op.vdd, V_NOM_VDD) * corner.dynamic;
+        let vcs_scale = self.tech.dynamic_scale(op.vcs, V_NOM_VCS) * corner.dynamic;
+        let vio_scale = self.tech.dynamic_scale(op.vio, V_NOM_VIO);
+        let leak = self.static_power(op, corner);
+        RailPower {
+            vdd: Watts(vdd_pj * vdd_scale * f_hz * 1e-12) + leak.vdd,
+            vcs: Watts(vcs_pj * vcs_scale * f_hz * 1e-12) + leak.vcs,
+            vio: Watts(vio_pj * vio_scale * f_hz * 1e-12) + leak.vio,
+        }
+    }
+
+    /// The per-rail dynamic voltage scales at an operating point and
+    /// corner (used when converting measured dynamic power back to
+    /// nominal energy during calibration).
+    #[must_use]
+    pub fn dynamic_scales(&self, op: OperatingPoint, corner: ChipCorner) -> [f64; 3] {
+        [
+            self.tech.dynamic_scale(op.vdd, V_NOM_VDD) * corner.dynamic,
+            self.tech.dynamic_scale(op.vcs, V_NOM_VCS) * corner.dynamic,
+            self.tech.dynamic_scale(op.vio, V_NOM_VIO),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use piton_power::model::PowerModel;
+    use piton_sim::events::ActivityCounters;
+
+    use super::*;
+
+    /// A representative busy activity window.
+    fn window() -> ActivityCounters {
+        use piton_arch::isa::Opcode;
+        let mut a = ActivityCounters::new();
+        a.cycles = 10_000;
+        for _ in 0..4000 {
+            a.record_issue(Opcode::Add, 1, 0.4);
+        }
+        for _ in 0..900 {
+            a.record_issue(Opcode::Ldx, 3, 0.6);
+        }
+        for _ in 0..350 {
+            a.record_issue(Opcode::Stx, 10, 0.2);
+        }
+        a.core_active_cycles = 9_000;
+        a.mem_stall_cycles = 2_500;
+        a.dual_thread_cycles = 4_000;
+        a.drafted_issues = 120;
+        a.l1i_accesses = 5_000;
+        a.l1d_reads = 900;
+        a.l1d_writes = 350;
+        a.l15_reads = 80;
+        a.l15_writes = 40;
+        a.l15_misses = 12;
+        a.l15_writebacks = 6;
+        a.l2_reads = 20;
+        a.l2_writes = 9;
+        a.dir_lookups = 20;
+        a.invalidations = 4;
+        a.sb_enqueues = 350;
+        a.store_rollbacks = 3;
+        a.load_rollbacks = 2;
+        a.noc_flit_hops = 420;
+        a.noc_route_computes = 70;
+        a.noc_bit_switches = 9_000;
+        a.noc_coupling_switches = 800;
+        a.offchip_requests = 2;
+        a.chip_bridge_flits = 14;
+        a.io_transactions = 1;
+        a
+    }
+
+    #[test]
+    fn reference_model_matches_cycle_power_model_exactly() {
+        let a = window();
+        let analytic = AnalyticModel::reference();
+        for corner in [
+            ChipCorner::typical(),
+            ChipCorner {
+                speed: 1.06,
+                leakage: 1.45,
+                dynamic: 1.12,
+            },
+        ] {
+            let cycle = PowerModel::new(Calibration::piton_hpca18(), TechModel::ibm32soi(), corner);
+            for (vdd, t) in [(1.0, 25.0), (0.8, 20.0), (1.2, 87.5)] {
+                let op = OperatingPoint::table_iii()
+                    .with_vdd_tracked(Volts(vdd))
+                    .with_junction(t);
+                let want = cycle.power(&a, op);
+                let got = analytic.power(&Features::rates(&a), op, corner);
+                for (w, g) in [
+                    (want.vdd, got.vdd),
+                    (want.vcs, got.vcs),
+                    (want.vio, got.vio),
+                ] {
+                    assert!(
+                        (w.0 - g.0).abs() < 1e-9 * w.0.abs().max(1.0),
+                        "rail mismatch at vdd={vdd} t={t}: {w:?} vs {g:?}"
+                    );
+                }
+                let want_static = cycle.static_power(op);
+                let got_static = analytic.static_power(op, corner);
+                assert!(
+                    (want_static.total_with_io().0 - got_static.total_with_io().0).abs() < 1e-12
+                );
+            }
+        }
+    }
+}

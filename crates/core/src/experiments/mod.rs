@@ -15,6 +15,7 @@
 //! | [`mem_latency`] | Figure 15 — memory latency breakdown |
 //! | [`thermal`] | Figures 17 & 18 — thermal characterization |
 //! | [`governor`] | Figures 9 & 18, closed-loop — DVFS/thermal governor |
+//! | [`design_space`] | beyond the paper — analytic VDD × f × cores × mix mega-sweep |
 //!
 //! Every experiment takes a [`Fidelity`] so tests can run scaled-down
 //! versions of the same code path the full harness uses. Beyond the
@@ -25,6 +26,7 @@
 pub mod ablations;
 pub mod area;
 pub mod core_scaling;
+pub mod design_space;
 pub mod epi;
 pub mod governor;
 pub mod mem_latency;
@@ -37,6 +39,7 @@ pub mod thermal;
 pub mod vf_sweep;
 pub mod yield_stats;
 
+pub use piton_arch::config::Backend;
 use piton_board::fault::FaultToken;
 use piton_power::governor::GovernorConfig;
 use serde::{Deserialize, Serialize};
@@ -74,6 +77,11 @@ pub struct Fidelity {
     /// and `--resume`-able; `None` runs the historical in-memory path,
     /// byte-identical to builds before journaling existed.
     pub journal: Option<JournalToken>,
+    /// Which engine produces the numbers ([`Backend::Cycle`] is the
+    /// historical default). Experiments that predate the analytic
+    /// model ignore it; the `design_space` family and the `reproduce`
+    /// harness use it to pick cycle, analytic or cross-checked runs.
+    pub backend: Backend,
 }
 
 impl Fidelity {
@@ -88,6 +96,7 @@ impl Fidelity {
             fault: None,
             governor: GovernorConfig::Off,
             journal: None,
+            backend: Backend::Cycle,
         }
     }
 
@@ -102,6 +111,7 @@ impl Fidelity {
             fault: None,
             governor: GovernorConfig::Off,
             journal: None,
+            backend: Backend::Cycle,
         }
     }
 
@@ -132,6 +142,13 @@ impl Fidelity {
     #[must_use]
     pub fn with_journal(mut self, token: JournalToken) -> Self {
         self.journal = Some(token);
+        self
+    }
+
+    /// Same fidelity with a different experiment backend.
+    #[must_use]
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
         self
     }
 }

@@ -11,7 +11,9 @@
 //! * [`report`] — plain-text rendering in the paper's row/column
 //!   shapes, with paper-versus-measured deviation columns;
 //! * [`journal`] — the write-ahead result journal behind durable,
-//!   crash-resumable sweeps (`reproduce --journal/--resume`).
+//!   crash-resumable sweeps (`reproduce --journal/--resume`);
+//! * [`analytic`] — the closed-form fast-path backend, calibrated
+//!   against and conformance-checked against the cycle engine.
 //!
 //! # Examples
 //!
@@ -26,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analytic;
 pub mod experiments;
 pub mod journal;
 pub mod measure;

@@ -194,6 +194,11 @@ impl Hole {
 /// which means "not part of this sweep").
 pub const HOLE_MARK: &str = "✗";
 
+/// Marker prefixed to cells whose value came from the analytic backend
+/// rather than a cycle-level measurement (distinct from [`HOLE_MARK`]:
+/// the value exists, it just was not simulated).
+pub const ANALYTIC_MARK: &str = "≈";
+
 /// Renders the hole trailer for a table: empty when the sweep was
 /// complete, so fault-free output stays byte-identical.
 #[must_use]

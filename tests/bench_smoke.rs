@@ -69,6 +69,7 @@ fn csv_and_render_agree_on_row_counts() {
         fault: None,
         governor: piton::power::GovernorConfig::Off,
         journal: None,
+        backend: piton::arch::config::Backend::Cycle,
     });
     let csv = r.to_csv();
     // header + 4 patterns x 9 hop points

@@ -10,7 +10,9 @@
 use proptest::prelude::*;
 
 use piton::board::fault::{Brownout, CrashPoint, FaultPlan, Sabotage, SabotageKind};
-use piton::obs::manifest::{HoleRecord, JournalStats, RunManifest, SectionRecord};
+use piton::obs::manifest::{
+    CalibrationRecord, HoleRecord, JournalStats, RunManifest, SectionRecord,
+};
 use piton::obs::metrics::Histogram;
 use piton::obs::trace::{
     decode_jsonl, encode_jsonl, CacheKind, CacheLevel, EngineMode, TraceEvent,
@@ -207,11 +209,25 @@ proptest! {
             fault_effects: (with_fault == 1)
                 .then(|| FaultPlan::with_seed(jobs as u64).render()),
             governor: (jobs % 2 == 1).then(|| "throttle-on-boot".to_owned()),
+            backend: (jobs % 4 == 0).then(|| "analytic".to_owned()),
             journal: (jobs % 3 == 0).then(|| JournalStats {
                 served: jobs as u64,
                 appended: 46 - jobs as u64 % 47,
                 recovered: jobs as u64,
                 torn: u64::from(with_fault),
+            }),
+            calibration: (jobs % 4 == 0).then(|| CalibrationRecord {
+                probes: 100 + jobs as u64,
+                residuals: vec![
+                    ("VDD".to_owned(), wall.1 / 1e4, wall.1 / 2e4),
+                    ("VCS".to_owned(), wall.0 / 1e4, wall.0 / 2e4),
+                ],
+                worst: (with_fault == 1)
+                    .then(|| ("idle".to_owned(), "VIO".to_owned(), wall.1 / 1e4)),
+                coefficients: vec![
+                    ("vdd.core_active".to_owned(), wall.0),
+                    ("vcs.l2_read".to_owned(), wall.1),
+                ],
             }),
             total_wall_s: wall.0,
             sections: vec![SectionRecord {
@@ -256,11 +272,18 @@ fn dense_manifest() -> RunManifest {
         fault_plan: Some("seed=7,drop=0.25,kill=epi:3,crash=noc:1".to_owned()),
         fault_effects: Some("seed=7,drop=0.25,kill=epi:3".to_owned()),
         governor: Some("race-to-halt".to_owned()),
+        backend: Some("both".to_owned()),
         journal: Some(JournalStats {
             served: 104,
             appended: 20,
             recovered: 104,
             torn: 69,
+        }),
+        calibration: Some(CalibrationRecord {
+            probes: 111,
+            residuals: vec![("VDD".to_owned(), 0.0014, 0.0001)],
+            worst: Some(("idle".to_owned(), "vio".to_owned(), 0.0167)),
+            coefficients: vec![("vdd.clock".to_owned(), 42.5)],
         }),
         total_wall_s: 3.25,
         sections: vec![SectionRecord {

@@ -18,6 +18,7 @@ fn tiny(jobs: usize) -> Fidelity {
         fault: None,
         governor: piton::power::GovernorConfig::Off,
         journal: None,
+        backend: piton::arch::config::Backend::Cycle,
     }
 }
 
