@@ -13,7 +13,9 @@
 //! * [`topology`] — the 5×5 2D-mesh tile grid, dimension-ordered routing
 //!   geometry and physical tile pitch used by the NoC energy study;
 //! * [`floorplan`] — the place-and-route area database behind the
-//!   chip/tile/core area breakdown of Figure 8.
+//!   chip/tile/core area breakdown of Figure 8;
+//! * [`request`] — the grid-selection grammar of `piton-serve`
+//!   experiment requests.
 //!
 //! # Examples
 //!
@@ -37,6 +39,7 @@ pub mod deadline;
 pub mod error;
 pub mod floorplan;
 pub mod isa;
+pub mod request;
 pub mod topology;
 pub mod units;
 

@@ -1,0 +1,235 @@
+//! Experiment-request specification types shared by the serving layer.
+//!
+//! A `piton-serve` request names a *subset* of an experiment's grid as
+//! data, in the same terse one-line grammar style the fault-plan and
+//! trace specs use: `all`, or comma-separated indices and inclusive
+//! ranges (`0-3,7,9-12`). [`GridSpec`] lives in this bottom crate so
+//! both the daemon (in `piton-core`) and any client-side tooling can
+//! parse and render specs without pulling in the JSON codec.
+//!
+//! # Examples
+//!
+//! ```
+//! use piton_arch::request::GridSpec;
+//!
+//! let spec = GridSpec::parse("9-12,0-3,7,10").unwrap();
+//! assert_eq!(spec.render(), "0-3,7,9-12"); // canonical form
+//! assert_eq!(spec.resolve(36).unwrap().len(), 9);
+//! assert!(GridSpec::parse("all").unwrap().is_all());
+//! ```
+
+use crate::error::PitonError;
+
+/// A selection of grid-point indices: either the whole grid (`all`) or
+/// a normalized union of inclusive index ranges.
+///
+/// The internal representation is always canonical — sorted, deduped,
+/// with overlapping or adjacent ranges merged — so [`GridSpec::render`]
+/// is a canonical form and `parse(render(s)) == s` holds exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GridSpec {
+    /// `None` selects every index of the target grid; `Some(ranges)`
+    /// holds sorted, non-overlapping, non-adjacent inclusive ranges.
+    ranges: Option<Vec<(usize, usize)>>,
+}
+
+fn bad(what: impl Into<String>) -> PitonError {
+    PitonError::BadPlan { what: what.into() }
+}
+
+impl GridSpec {
+    /// The whole-grid selection.
+    #[must_use]
+    pub fn all() -> Self {
+        Self { ranges: None }
+    }
+
+    /// Whether this spec selects the whole grid.
+    #[must_use]
+    pub fn is_all(&self) -> bool {
+        self.ranges.is_none()
+    }
+
+    /// Builds a spec from an arbitrary index set (duplicates and order
+    /// don't matter — the result is canonical).
+    #[must_use]
+    pub fn from_indices(indices: &[usize]) -> Self {
+        let mut sorted: Vec<usize> = indices.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut ranges: Vec<(usize, usize)> = Vec::new();
+        for i in sorted {
+            match ranges.last_mut() {
+                Some((_, end)) if i == *end + 1 => *end = i,
+                _ => ranges.push((i, i)),
+            }
+        }
+        Self {
+            ranges: Some(ranges),
+        }
+    }
+
+    /// Parses the request grammar: `all`, or comma-separated terms that
+    /// are each a single index (`7`) or an inclusive range (`0-3`).
+    /// Overlapping, adjacent and out-of-order terms are normalized.
+    ///
+    /// # Errors
+    ///
+    /// [`PitonError::BadPlan`] on an empty spec, an empty term, a
+    /// non-numeric index, or a descending range.
+    pub fn parse(spec: &str) -> Result<Self, PitonError> {
+        if spec == "all" {
+            return Ok(Self::all());
+        }
+        if spec.is_empty() {
+            return Err(bad("empty grid spec: expected `all` or `N`/`A-B` terms"));
+        }
+        let index = |s: &str| -> Result<usize, PitonError> {
+            s.parse()
+                .map_err(|_| bad(format!("grid spec index {s:?} is not an unsigned integer")))
+        };
+        let mut ranges: Vec<(usize, usize)> = Vec::new();
+        for term in spec.split(',') {
+            if term.is_empty() {
+                return Err(bad(format!("grid spec {spec:?} has an empty term")));
+            }
+            let (lo, hi) = match term.split_once('-') {
+                Some((a, b)) => (index(a)?, index(b)?),
+                None => {
+                    let i = index(term)?;
+                    (i, i)
+                }
+            };
+            if lo > hi {
+                return Err(bad(format!("grid spec range {term:?} is descending")));
+            }
+            ranges.push((lo, hi));
+        }
+        ranges.sort_unstable();
+        let mut merged: Vec<(usize, usize)> = Vec::with_capacity(ranges.len());
+        for (lo, hi) in ranges {
+            match merged.last_mut() {
+                // Overlapping or adjacent: extend the previous range.
+                Some((_, end)) if lo <= end.saturating_add(1) => *end = (*end).max(hi),
+                _ => merged.push((lo, hi)),
+            }
+        }
+        Ok(Self {
+            ranges: Some(merged),
+        })
+    }
+
+    /// Renders the canonical form: `all`, or merged ascending terms
+    /// like `0-3,7,9-12`. `parse(render(s)) == s` exactly.
+    #[must_use]
+    pub fn render(&self) -> String {
+        match &self.ranges {
+            None => "all".to_owned(),
+            Some(ranges) => ranges
+                .iter()
+                .map(|&(lo, hi)| {
+                    if lo == hi {
+                        lo.to_string()
+                    } else {
+                        format!("{lo}-{hi}")
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join(","),
+        }
+    }
+
+    /// Resolves the spec against a grid of `len` points, returning the
+    /// selected indices in ascending order.
+    ///
+    /// # Errors
+    ///
+    /// [`PitonError::BadPlan`] when any selected index is out of range
+    /// — a request must never silently shrink to the grid it found.
+    pub fn resolve(&self, len: usize) -> Result<Vec<usize>, PitonError> {
+        match &self.ranges {
+            None => Ok((0..len).collect()),
+            Some(ranges) => {
+                if let Some(&(_, hi)) = ranges.iter().find(|&&(_, hi)| hi >= len) {
+                    return Err(bad(format!(
+                        "grid spec selects index {hi} but the grid has only {len} point(s)"
+                    )));
+                }
+                Ok(ranges.iter().flat_map(|&(lo, hi)| lo..=hi).collect())
+            }
+        }
+    }
+
+    /// Number of selected indices on a grid of `len` points (without
+    /// materializing them).
+    #[must_use]
+    pub fn count(&self, len: usize) -> usize {
+        match &self.ranges {
+            None => len,
+            Some(ranges) => ranges.iter().map(|&(lo, hi)| hi - lo + 1).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_normalizes_terms() {
+        let s = GridSpec::parse("9-12,0-3,7,10,4").unwrap();
+        // 0-3 and 4 are adjacent; 10 is inside 9-12.
+        assert_eq!(s.render(), "0-4,7,9-12");
+        assert_eq!(
+            s.resolve(13).unwrap(),
+            vec![0, 1, 2, 3, 4, 7, 9, 10, 11, 12]
+        );
+        assert_eq!(s.count(13), 10);
+    }
+
+    #[test]
+    fn all_selects_the_whole_grid() {
+        let s = GridSpec::parse("all").unwrap();
+        assert!(s.is_all());
+        assert_eq!(s.render(), "all");
+        assert_eq!(s.resolve(4).unwrap(), vec![0, 1, 2, 3]);
+        assert_eq!(s.count(4), 4);
+    }
+
+    #[test]
+    fn render_is_canonical_and_round_trips() {
+        for spec in ["0", "0-8", "3,1,2", "5-9,0-2", "all", "7,7,7"] {
+            let parsed = GridSpec::parse(spec).unwrap();
+            let rendered = parsed.render();
+            assert_eq!(GridSpec::parse(&rendered).unwrap(), parsed, "{spec}");
+            assert_eq!(
+                GridSpec::parse(&rendered).unwrap().render(),
+                rendered,
+                "{spec}"
+            );
+        }
+    }
+
+    #[test]
+    fn from_indices_matches_parse() {
+        let s = GridSpec::from_indices(&[12, 0, 1, 2, 7, 9, 10, 11, 1]);
+        assert_eq!(s.render(), "0-2,7,9-12");
+        assert_eq!(s, GridSpec::parse("0-2,7,9-12").unwrap());
+    }
+
+    #[test]
+    fn malformed_specs_are_refused() {
+        for spec in ["", ",", "1,", "a", "3-1", "1-2-3", "-1", "0x5"] {
+            let e = GridSpec::parse(spec).unwrap_err();
+            assert!(matches!(e, PitonError::BadPlan { .. }), "{spec:?}: {e}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_resolution_is_an_error() {
+        let s = GridSpec::parse("0-9").unwrap();
+        assert!(s.resolve(10).is_ok());
+        let e = s.resolve(9).unwrap_err();
+        assert!(e.to_string().contains("only 9 point(s)"), "{e}");
+    }
+}

@@ -1,0 +1,96 @@
+//! `piton-serve` — the sweep-as-a-service daemon.
+//!
+//! Listens on a Unix domain socket for newline-delimited JSON
+//! experiment requests, serves every previously-computed grid point
+//! from a persistent content-addressed cache, computes only the
+//! misses, and streams checksummed result frames back. See
+//! `piton_core::serve` for the protocol and invariants.
+//!
+//! Usage:
+//!
+//! ```text
+//! piton-serve --socket PATH --cache-dir DIR [--jobs N] [--shard N]
+//! ```
+//!
+//! Every flag accepts `--flag VALUE` or `--flag=VALUE`, with
+//! environment fallbacks `PITON_SERVE_SOCKET`, `PITON_SERVE_CACHE`,
+//! `PITON_JOBS` and `PITON_SERVE_SHARD`. The daemon prints one
+//! `listening` line to stderr once the socket is bound (scripts wait
+//! for it), runs until a `{"op":"shutdown"}` request arrives, then
+//! writes `serve-manifest.json` into the cache directory, removes the
+//! socket and prints a counter summary. Exit status: 0 on clean
+//! shutdown, 1 on serve failures, 2 on usage errors.
+
+use piton_core::runner;
+use piton_core::serve::{Server, ServerConfig};
+use piton_obs::metrics;
+
+/// `--NAME VALUE` / `--NAME=VALUE` with an environment fallback.
+fn flag_value(name: &str, env: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    let long = format!("--{name}");
+    let prefixed = format!("--{name}=");
+    for (i, a) in args.iter().enumerate() {
+        if let Some(v) = a.strip_prefix(&prefixed) {
+            return Some(v.to_owned());
+        }
+        if *a == long {
+            return args.get(i + 1).cloned();
+        }
+    }
+    std::env::var(env).ok()
+}
+
+fn usage() -> ! {
+    eprintln!("usage: piton-serve --socket PATH --cache-dir DIR [--jobs N] [--shard N]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let Some(socket) = flag_value("socket", "PITON_SERVE_SOCKET") else {
+        usage()
+    };
+    let Some(cache_dir) = flag_value("cache-dir", "PITON_SERVE_CACHE") else {
+        usage()
+    };
+    let parse_count = |spec: Option<String>, what: &str| -> Option<usize> {
+        spec.map(|s| match s.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("piton-serve: {what} {s:?} is not a positive integer");
+                std::process::exit(2);
+            }
+        })
+    };
+    let jobs = parse_count(flag_value("jobs", "PITON_JOBS"), "--jobs")
+        .unwrap_or_else(runner::default_jobs);
+    let shard = parse_count(flag_value("shard", "PITON_SERVE_SHARD"), "--shard").unwrap_or(512);
+
+    metrics::enable();
+    let config = ServerConfig::new(&socket, &cache_dir)
+        .with_jobs(jobs)
+        .with_shard_points(shard);
+    let server = match Server::bind(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("piton-serve: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!("piton-serve: listening on {socket} (cache {cache_dir}, jobs {jobs}, shard {shard})");
+    match server.run() {
+        Ok(manifest) => {
+            let line = manifest
+                .counters
+                .iter()
+                .map(|(n, v)| format!("{}={v}", n.trim_start_matches("serve.")))
+                .collect::<Vec<_>>()
+                .join(" ");
+            eprintln!("piton-serve: shutdown clean: {line}");
+        }
+        Err(e) => {
+            eprintln!("piton-serve: {e}");
+            std::process::exit(1);
+        }
+    }
+}

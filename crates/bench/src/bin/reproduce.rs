@@ -274,22 +274,13 @@ fn parse_journal() -> (Option<String>, bool) {
     (path, resume)
 }
 
-/// The journal context spec: everything a served result must agree on
-/// — code version, fidelity, the result-affecting fault effects and
-/// the experiment backend. `--jobs` is deliberately excluded (results
-/// are jobs-invariant), as are crash points (they decide when the
-/// process dies, never what it computes). The backend is included
-/// unconditionally: a cycle journal must never be served to an
-/// analytic run or vice versa.
+/// The journal context spec — the shared [`journal::run_context`]
+/// keyed on this run's fidelity label, fault effects and backend. The
+/// serve daemon derives cache contexts through the same function, so a
+/// `--journal` file and a `piton-serve` cache entry for the same
+/// configuration carry byte-identical context strings.
 fn journal_context(quick: bool, plan: Option<&FaultPlan>, backend: Backend) -> String {
-    format!(
-        "piton/{}|fidelity={}|effects={}|backend={}",
-        env!("CARGO_PKG_VERSION"),
-        if quick { "quick" } else { "full" },
-        plan.and_then(FaultPlan::render_effects)
-            .unwrap_or_else(|| "none".to_owned()),
-        backend.label()
-    )
+    journal::run_context(if quick { "quick" } else { "full" }, plan, backend)
 }
 
 fn main() {

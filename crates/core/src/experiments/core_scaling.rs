@@ -59,6 +59,57 @@ fn point_label(bench: Microbenchmark, tpc: ThreadsPerCore, cores: usize) -> Stri
     format!("{} {} @ {cores} cores", bench.label(), tpc.label())
 }
 
+/// The Figure 13 grid over the given core counts, in sweep order:
+/// 3 benchmarks × 2 T/C × cores as `(bench, tpc, cores)`.
+#[must_use]
+pub fn grid_with_cores(core_counts: &[usize]) -> Vec<(Microbenchmark, ThreadsPerCore, usize)> {
+    Microbenchmark::ALL
+        .into_iter()
+        .flat_map(|bench| {
+            [ThreadsPerCore::One, ThreadsPerCore::Two]
+                .into_iter()
+                .flat_map(move |tpc| core_counts.iter().map(move |&c| (bench, tpc, c)))
+        })
+        .collect()
+}
+
+/// The canonical full-chip Figure 13 grid (1..=25 cores, 150 points) —
+/// the grid the serve layer addresses by index.
+#[must_use]
+pub fn grid() -> Vec<(Microbenchmark, ThreadsPerCore, usize)> {
+    let cores: Vec<usize> = (1..=25).collect();
+    grid_with_cores(&cores)
+}
+
+/// Computes one Figure 13 grid point exactly as the [`run_with_cores`]
+/// sweep does — same index-derived seed, same sabotage gate — so a
+/// result computed here is bit-identical to one journaled by a full
+/// run under the same context.
+///
+/// # Errors
+///
+/// Propagates injected sabotage failures and measurement errors.
+pub fn compute_point(
+    index: usize,
+    point: &(Microbenchmark, ThreadsPerCore, usize),
+    fidelity: Fidelity,
+    plan: Option<&FaultPlan>,
+    attempt: u32,
+) -> Result<f64, PitonError> {
+    let &(bench, tpc, cores) = point;
+    if let Some(plan) = plan {
+        fault::sabotage_gate(plan, "scaling", index, attempt)?;
+    }
+    measure_point(
+        bench,
+        cores,
+        tpc,
+        fidelity,
+        plan,
+        ((index as u64) << 32) ^ u64::from(attempt),
+    )
+}
+
 fn measure_point(
     bench: Microbenchmark,
     cores: usize,
@@ -90,14 +141,7 @@ pub fn run_with_cores(core_counts: &[usize], fidelity: Fidelity) -> CoreScalingR
     let plan = fidelity.fault.map(fault::lookup);
 
     // 3 benchmarks × 2 T/C × core counts, all independent systems.
-    let grid: Vec<(Microbenchmark, ThreadsPerCore, usize)> = Microbenchmark::ALL
-        .into_iter()
-        .flat_map(|bench| {
-            [ThreadsPerCore::One, ThreadsPerCore::Two]
-                .into_iter()
-                .flat_map(move |tpc| core_counts.iter().map(move |&c| (bench, tpc, c)))
-        })
-        .collect();
+    let grid = grid_with_cores(core_counts);
     let watts = runner::try_sweep_journaled(
         fidelity.jobs,
         grid.clone(),
@@ -105,19 +149,7 @@ pub fn run_with_cores(core_counts: &[usize], fidelity: Fidelity) -> CoreScalingR
         "scaling",
         plan.as_ref(),
         fidelity.journal,
-        |index, &(bench, tpc, cores), attempt| {
-            if let Some(plan) = &plan {
-                fault::sabotage_gate(plan, "scaling", index, attempt)?;
-            }
-            measure_point(
-                bench,
-                cores,
-                tpc,
-                fidelity,
-                plan.as_ref(),
-                ((index as u64) << 32) ^ u64::from(attempt),
-            )
-        },
+        |index, point, attempt| compute_point(index, point, fidelity, plan.as_ref(), attempt),
     );
 
     let mut holes: Vec<Hole> = grid

@@ -23,7 +23,7 @@ use piton_power::tech::TechModel;
 use piton_power::thermal::{Cooling, ThermalModel};
 use piton_workloads::micro::{load_microbenchmark, Microbenchmark, RunLength, ThreadsPerCore};
 
-use piton_board::fault;
+use piton_board::fault::{self, FaultPlan};
 use piton_obs::json::{ObjectBuilder, Value};
 
 use crate::analytic::compare::FigureComparison;
@@ -187,8 +187,10 @@ pub struct DesignSpaceResult {
 
 /// Per-(mix, cores) precomputation: nominal dynamic pJ/cycle per rail
 /// plus the mix's IPC. The 500 combinations cover the whole grid, so
-/// the 105,000-point sweep never re-derives a rate profile.
-fn mix_table(cal: &Calibrated) -> Vec<((f64, f64, f64), f64)> {
+/// the 105,000-point sweep never re-derives a rate profile. Build it
+/// once per calibration and share it across [`compute_point`] calls.
+#[must_use]
+pub fn mix_table(cal: &Calibrated) -> Vec<((f64, f64, f64), f64)> {
     let benches = Microbenchmark::ALL;
     let mut table = Vec::with_capacity(MIX_STEPS * CORE_STEPS);
     for mix in MIXES.iter().take(MIX_STEPS) {
@@ -247,6 +249,30 @@ fn evaluate(cal: &Calibrated, nominal_pj: (f64, f64, f64), ipc: f64, p: GridPoin
     }
 }
 
+/// Computes one design-space grid point exactly as the [`run`] sweep
+/// does — same mix-table lookup, same sabotage gate — so a result
+/// computed here is bit-identical to one journaled by a full run under
+/// the same context. `table` must come from [`mix_table`] for the same
+/// calibration.
+///
+/// # Errors
+///
+/// Propagates injected sabotage failures from the fault plan.
+pub fn compute_point(
+    cal: &Calibrated,
+    table: &[((f64, f64, f64), f64)],
+    index: usize,
+    p: GridPoint,
+    plan: Option<&FaultPlan>,
+    attempt: u32,
+) -> Result<DesignPoint, PitonError> {
+    if let Some(plan) = plan {
+        fault::sabotage_gate(plan, "design_space", index, attempt)?;
+    }
+    let (nominal, ipc) = table[(p.mix * CORE_STEPS) + (p.cores - 1)];
+    Ok(evaluate(cal, nominal, ipc, p))
+}
+
 /// Runs the mega-sweep with the analytic backend.
 #[must_use]
 pub fn run(cal: &Calibrated, fidelity: Fidelity) -> DesignSpaceResult {
@@ -260,13 +286,7 @@ pub fn run(cal: &Calibrated, fidelity: Fidelity) -> DesignSpaceResult {
         "design_space",
         plan.as_ref(),
         fidelity.journal,
-        |index, &p, attempt| {
-            if let Some(plan) = &plan {
-                fault::sabotage_gate(plan, "design_space", index, attempt)?;
-            }
-            let (nominal, ipc) = table[(p.mix * CORE_STEPS) + (p.cores - 1)];
-            Ok(evaluate(cal, nominal, ipc, p))
-        },
+        |index, &p, attempt| compute_point(cal, &table, index, p, plan.as_ref(), attempt),
     );
     let holes = grid
         .iter()

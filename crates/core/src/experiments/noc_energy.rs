@@ -8,8 +8,10 @@
 //! per flit is `EPF = (47/7) × (P_hop − P_base)/f`, and a linear fit
 //! over hops gives the paper's pJ/hop trendlines.
 
+use piton_arch::error::PitonError;
 use piton_arch::topology::TileId;
-use piton_board::fault;
+use piton_arch::units::Watts;
+use piton_board::fault::{self, FaultPlan};
 use piton_board::system::PitonSystem;
 use piton_sim::machine::SwitchPattern;
 use serde::{Deserialize, Serialize};
@@ -52,12 +54,7 @@ pub fn paper_reference() -> Vec<(&'static str, f64)> {
     ]
 }
 
-fn measure_power(
-    pattern: SwitchPattern,
-    dst: TileId,
-    fidelity: Fidelity,
-    seed: u64,
-) -> piton_arch::units::Watts {
+fn measure_power(pattern: SwitchPattern, dst: TileId, fidelity: Fidelity, seed: u64) -> Watts {
     let mut sys = PitonSystem::new(
         &piton_arch::config::ChipConfig::piton(),
         piton_power::ChipCorner::typical(),
@@ -85,35 +82,58 @@ fn point_label(pattern: SwitchPattern, hops: usize) -> String {
     format!("{} hop {hops}", pattern.label())
 }
 
-/// Runs the Figure 12 sweep.
+/// The Figure 12 grid in sweep order: 4 patterns × hops 0..=8 as
+/// `(pattern index, pattern, hops)`, 36 points. This is the grid the
+/// `"noc"` journal section — and therefore the serve cache — indexes.
 #[must_use]
-pub fn run(fidelity: Fidelity) -> NocEnergyResult {
-    let mesh = piton_arch::topology::Mesh::piton();
-    let f = piton_arch::units::Hertz::from_mhz(500.05);
-    let plan = fidelity.fault.map(fault::lookup);
-    // 4 patterns × hops 0..=8, every point an isolated system; hop 0 is
-    // the pattern's baseline power the others subtract.
-    let grid: Vec<(usize, SwitchPattern, usize)> = SwitchPattern::ALL
+pub fn grid() -> Vec<(usize, SwitchPattern, usize)> {
+    SwitchPattern::ALL
         .into_iter()
         .enumerate()
         .flat_map(|(i, pattern)| (0..=8usize).map(move |hops| (i, pattern, hops)))
-        .collect();
+        .collect()
+}
+
+/// Computes one Figure 12 grid point exactly as the [`run`] sweep does
+/// — same per-pattern seed, same sabotage gate — so a result computed
+/// here is bit-identical to one journaled by a full run under the same
+/// context.
+///
+/// # Errors
+///
+/// Propagates injected sabotage failures from the fault plan.
+pub fn compute_point(
+    index: usize,
+    point: &(usize, SwitchPattern, usize),
+    fidelity: Fidelity,
+    plan: Option<&FaultPlan>,
+    attempt: u32,
+) -> Result<Watts, PitonError> {
+    let &(i, pattern, hops) = point;
+    if let Some(plan) = plan {
+        fault::sabotage_gate(plan, "noc", index, attempt)?;
+    }
+    let dst = piton_arch::topology::Mesh::piton()
+        .tile_at_distance(TileId::new(0), hops)
+        .expect("5x5 mesh covers 0..=8 hops");
+    Ok(measure_power(pattern, dst, fidelity, 0xE0 + i as u64))
+}
+
+/// Runs the Figure 12 sweep.
+#[must_use]
+pub fn run(fidelity: Fidelity) -> NocEnergyResult {
+    let f = piton_arch::units::Hertz::from_mhz(500.05);
+    let plan = fidelity.fault.map(fault::lookup);
+    // Every point an isolated system; hop 0 is the pattern's baseline
+    // power the others subtract.
     let powers = runner::try_sweep_journaled(
         fidelity.jobs,
-        grid,
+        grid(),
         runner::RetryPolicy::default(),
         "noc",
         plan.as_ref(),
         fidelity.journal,
-        |index, &(i, pattern, hops), attempt| {
-            if let Some(plan) = &plan {
-                fault::sabotage_gate(plan, "noc", index, attempt)?;
-            }
-            let dst = mesh
-                .tile_at_distance(TileId::new(0), hops)
-                .expect("5x5 mesh covers 0..=8 hops");
-            Ok(measure_power(pattern, dst, fidelity, 0xE0 + i as u64))
-        },
+        |index, point, attempt| compute_point(index, point, fidelity, plan.as_ref(), attempt),
     );
 
     let mut holes = Vec::new();

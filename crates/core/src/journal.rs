@@ -46,8 +46,10 @@ use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
+use piton_arch::config::Backend;
 use piton_arch::error::PitonError;
 use piton_arch::units::Watts;
+use piton_board::fault::FaultPlan;
 use piton_obs::json::{self, ObjectBuilder, Value};
 use piton_obs::manifest::JournalStats;
 use serde::{Deserialize, Serialize};
@@ -67,6 +69,25 @@ pub fn fnv64(bytes: &[u8]) -> u64 {
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     h
+}
+
+/// The run context spec shared by `reproduce --journal` and the
+/// `piton-serve` result cache: everything a served result must agree
+/// on — code version, fidelity, the result-affecting fault effects and
+/// the experiment backend. `--jobs` is deliberately excluded (results
+/// are jobs-invariant), as are crash points (they decide when the
+/// process dies, never what it computes). The backend is included
+/// unconditionally: a cycle journal must never be served to an
+/// analytic run or vice versa.
+#[must_use]
+pub fn run_context(fidelity: &str, plan: Option<&FaultPlan>, backend: Backend) -> String {
+    format!(
+        "piton/{}|fidelity={fidelity}|effects={}|backend={}",
+        env!("CARGO_PKG_VERSION"),
+        plan.and_then(FaultPlan::render_effects)
+            .unwrap_or_else(|| "none".to_owned()),
+        backend.label()
+    )
 }
 
 /// The content-addressed key of one grid point under one context.
@@ -161,14 +182,17 @@ impl JournalPayload for WithError {
     }
 }
 
-/// One checksummed journal line (no trailing newline).
-fn frame(json: &str) -> String {
+/// One checksummed journal line (no trailing newline) — the framing
+/// shared by journal records and `piton-serve` response frames.
+#[must_use]
+pub fn frame_line(json: &str) -> String {
     format!("{:016x} {json}", fnv64(json.as_bytes()))
 }
 
 /// Splits a framed line into its verified JSON text. `None` for any
 /// framing violation: missing separator, non-hex checksum, mismatch.
-fn unframe(line: &[u8]) -> Option<&str> {
+#[must_use]
+pub fn unframe_line(line: &[u8]) -> Option<&str> {
     if line.len() < 18 || line[16] != b' ' {
         return None;
     }
@@ -235,7 +259,9 @@ impl Journal {
                 break; // unterminated tail line: torn by definition
             };
             let line = &bytes[cursor..cursor + nl];
-            let Some(json) = unframe(line) else { break };
+            let Some(json) = unframe_line(line) else {
+                break;
+            };
             let Ok(v) = json::parse(json) else { break };
             if !saw_header {
                 let Some(schema) = v.get("schema").and_then(Value::as_str) else {
@@ -310,7 +336,7 @@ impl Journal {
     }
 
     fn write_line(&mut self, json: &str) -> Result<(), PitonError> {
-        let mut line = frame(json);
+        let mut line = frame_line(json);
         line.push('\n');
         self.file
             .write_all(line.as_bytes())
@@ -334,6 +360,14 @@ impl Journal {
     #[must_use]
     pub fn stats(&self) -> JournalStats {
         self.stats
+    }
+
+    /// Whether a completed point is present, *without* counting a
+    /// serve (the serving layer uses this to avoid double-recording
+    /// points a concurrent identical request already appended).
+    #[must_use]
+    pub fn contains(&self, section: &str, index: usize) -> bool {
+        self.entries.contains_key(&(section.to_owned(), index))
     }
 
     /// Looks up a completed point, counting a successful hit as served.

@@ -13,7 +13,10 @@
 //! * [`journal`] — the write-ahead result journal behind durable,
 //!   crash-resumable sweeps (`reproduce --journal/--resume`);
 //! * [`analytic`] — the closed-form fast-path backend, calibrated
-//!   against and conformance-checked against the cycle engine.
+//!   against and conformance-checked against the cycle engine;
+//! * [`serve`] — the `piton-serve` daemon core: experiment requests
+//!   over a Unix socket, answered from a persistent content-addressed
+//!   result cache.
 //!
 //! # Examples
 //!
@@ -34,6 +37,7 @@ pub mod journal;
 pub mod measure;
 pub mod report;
 pub mod runner;
+pub mod serve;
 
 pub use experiments::Fidelity;
 pub use piton_power::governor::GovernorConfig;

@@ -1,0 +1,258 @@
+//! Resolves a run request to a serveable section: the grid length, the
+//! derived cache context, and a per-point compute closure that is
+//! bit-identical to the full experiment sweep.
+//!
+//! Three journal sections are serveable — the ones whose grids are
+//! pure functions of (index, context):
+//!
+//! | section | grid | backend | payload |
+//! |---|---|---|---|
+//! | `noc` | 4 patterns × 9 hop counts = 36 | cycle | watts |
+//! | `scaling` | 3 benches × 2 T/C × 25 cores = 150 | cycle | watts (f64) |
+//! | `design_space` | 105,000 V/f/cores/mix points | analytic | power/EPI/junction |
+//!
+//! The `design_space` section needs a calibrated analytic model; the
+//! calibration is derived from the request context alone, so it is
+//! computed once per context and cached process-wide.
+
+use std::sync::{Arc, Mutex};
+
+use piton_arch::config::Backend;
+use piton_arch::error::PitonError;
+use piton_board::fault::{self, FaultPlan};
+use piton_obs::json::Value;
+
+use crate::analytic::{self, Calibrated};
+use crate::experiments::{core_scaling, design_space, noc_energy, Fidelity};
+use crate::journal::{self, JournalPayload};
+use crate::serve::request::RunRequest;
+
+/// The serveable journal sections.
+pub const SECTIONS: [&str; 3] = ["noc", "scaling", "design_space"];
+
+/// A per-point compute closure: (index, attempt) → journal payload.
+type PointFn = Box<dyn Fn(usize, u32) -> Result<Value, PitonError> + Send + Sync>;
+
+/// A resolved section: everything the serving loop needs to answer a
+/// run request.
+pub struct SectionEval {
+    /// The cache-key context string this request resolved to.
+    pub context: String,
+    /// The engine that computes misses.
+    pub backend: Backend,
+    /// Grid length (requests index `0..len`).
+    pub len: usize,
+    point: PointFn,
+}
+
+impl SectionEval {
+    /// Computes one grid point (cache-miss path) on the given attempt,
+    /// already encoded as its journal payload.
+    ///
+    /// # Errors
+    ///
+    /// Propagates measurement and injected-sabotage failures.
+    pub fn compute(&self, index: usize, attempt: u32) -> Result<Value, PitonError> {
+        (self.point)(index, attempt)
+    }
+}
+
+impl std::fmt::Debug for SectionEval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SectionEval")
+            .field("context", &self.context)
+            .field("backend", &self.backend)
+            .field("len", &self.len)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Process-wide calibration cache, keyed by context string: requests
+/// repeating a context — the daemon's entire point — must not re-run
+/// the probe battery.
+static CALIBRATIONS: Mutex<Vec<(String, Arc<Calibrated>)>> = Mutex::new(Vec::new());
+
+fn calibration_for(
+    context: &str,
+    fidelity: Fidelity,
+    plan: Option<&FaultPlan>,
+) -> Result<Arc<Calibrated>, PitonError> {
+    {
+        let cache = CALIBRATIONS.lock().expect("calibration cache lock");
+        if let Some((_, cal)) = cache.iter().find(|(k, _)| k == context) {
+            return Ok(Arc::clone(cal));
+        }
+    }
+    // Calibrate outside the lock: it is expensive, and a concurrent
+    // duplicate is benign — calibration is deterministic, so whichever
+    // copy lands in the cache serves identical numbers.
+    let fidelity = match plan {
+        // Match `reproduce`: a fault plan perturbs the probe battery
+        // too, so the fitted model is part of the faulted context.
+        Some(p) => fidelity.with_fault(fault::register(p.clone())),
+        None => fidelity,
+    };
+    let cal = Arc::new(analytic::calibrate(fidelity)?);
+    let mut cache = CALIBRATIONS.lock().expect("calibration cache lock");
+    if let Some((_, existing)) = cache.iter().find(|(k, _)| k == context) {
+        return Ok(Arc::clone(existing));
+    }
+    cache.push((context.to_owned(), Arc::clone(&cal)));
+    Ok(cal)
+}
+
+/// Resolves a run request against the section registry.
+///
+/// # Errors
+///
+/// [`PitonError::Codec`] for an unknown section or a section/backend
+/// mismatch; calibration failures for `design_space`.
+pub fn resolve(req: &RunRequest) -> Result<SectionEval, PitonError> {
+    let natural = match req.section.as_str() {
+        "noc" | "scaling" => Backend::Cycle,
+        "design_space" => Backend::Analytic,
+        other => {
+            return Err(PitonError::codec(format!(
+                "unknown section {other:?} (serveable: {})",
+                SECTIONS.join(", ")
+            )))
+        }
+    };
+    let backend = req.backend.unwrap_or(natural);
+    if backend != natural {
+        return Err(PitonError::codec(format!(
+            "section {:?} is served by the {} backend only, not {}",
+            req.section,
+            natural.label(),
+            backend.label()
+        )));
+    }
+    let fidelity = req.fidelity.to_fidelity();
+    let plan = req.fault.clone();
+    let context = journal::run_context(&req.fidelity.render(), plan.as_ref(), backend);
+
+    let (len, point): (usize, PointFn) = match req.section.as_str() {
+        "noc" => {
+            let grid = noc_energy::grid();
+            (
+                grid.len(),
+                Box::new(move |idx, attempt| {
+                    noc_energy::compute_point(idx, &grid[idx], fidelity, plan.as_ref(), attempt)
+                        .map(|w| w.to_value())
+                }),
+            )
+        }
+        "scaling" => {
+            let grid = core_scaling::grid();
+            (
+                grid.len(),
+                Box::new(move |idx, attempt| {
+                    core_scaling::compute_point(idx, &grid[idx], fidelity, plan.as_ref(), attempt)
+                        .map(|w| w.to_value())
+                }),
+            )
+        }
+        "design_space" => {
+            let cal = calibration_for(&context, fidelity, plan.as_ref())?;
+            let table = design_space::mix_table(&cal);
+            let grid = design_space::grid();
+            (
+                grid.len(),
+                Box::new(move |idx, attempt| {
+                    design_space::compute_point(
+                        &cal,
+                        &table,
+                        idx,
+                        grid[idx],
+                        plan.as_ref(),
+                        attempt,
+                    )
+                    .map(|d| d.to_value())
+                }),
+            )
+        }
+        _ => unreachable!("section validated above"),
+    };
+    Ok(SectionEval {
+        context,
+        backend,
+        len,
+        point,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serve::request::{FidelitySpec, Request};
+
+    fn run_request(json: &str) -> RunRequest {
+        match Request::parse(json).unwrap() {
+            Request::Run(r) => *r,
+            other => panic!("expected a run request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sections_resolve_with_natural_backends_and_grid_lengths() {
+        let noc = resolve(&run_request(r#"{"op":"run","section":"noc"}"#)).unwrap();
+        assert_eq!((noc.backend, noc.len), (Backend::Cycle, 36));
+        let scaling = resolve(&run_request(r#"{"op":"run","section":"scaling"}"#)).unwrap();
+        assert_eq!((scaling.backend, scaling.len), (Backend::Cycle, 150));
+        assert!(noc.context.contains("backend=cycle"), "{}", noc.context);
+        assert!(noc.context.contains("fidelity=quick"), "{}", noc.context);
+    }
+
+    #[test]
+    fn unknown_sections_and_backend_mismatches_are_refused() {
+        assert!(resolve(&run_request(r#"{"op":"run","section":"epi"}"#)).is_err());
+        let err = resolve(&run_request(
+            r#"{"op":"run","section":"noc","backend":"analytic"}"#,
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("cycle"), "{err}");
+        assert!(resolve(&run_request(
+            r#"{"op":"run","section":"design_space","backend":"cycle"}"#
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn context_discriminates_every_knob() {
+        let base = resolve(&run_request(r#"{"op":"run","section":"noc"}"#))
+            .unwrap()
+            .context;
+        for variant in [
+            r#"{"op":"run","section":"noc","fidelity":"full"}"#,
+            r#"{"op":"run","section":"noc","fidelity":"s=4,c=1000,w=4000"}"#,
+            r#"{"op":"run","section":"noc","fault":"seed=7,drop=0.25"}"#,
+        ] {
+            let ctx = resolve(&run_request(variant)).unwrap().context;
+            assert_ne!(ctx, base, "{variant}");
+        }
+        // Crash points decide when the process dies, never what it
+        // computes: they must NOT shift the context.
+        let crash = resolve(&run_request(
+            r#"{"op":"run","section":"noc","fault":"crash=noc:3"}"#,
+        ))
+        .unwrap()
+        .context;
+        assert_eq!(crash, base);
+    }
+
+    #[test]
+    fn computed_points_match_the_experiment_sweep_exactly() {
+        let eval = resolve(&run_request(
+            r#"{"op":"run","section":"noc","fidelity":"s=2,c=500,w=2000"}"#,
+        ))
+        .unwrap();
+        let grid = noc_energy::grid();
+        let fidelity = FidelitySpec::parse("s=2,c=500,w=2000")
+            .unwrap()
+            .to_fidelity();
+        for idx in [0usize, 5, 17, 35] {
+            let direct = noc_energy::compute_point(idx, &grid[idx], fidelity, None, 0).unwrap();
+            assert_eq!(eval.compute(idx, 0).unwrap(), direct.to_value(), "{idx}");
+        }
+    }
+}

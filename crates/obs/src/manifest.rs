@@ -496,6 +496,154 @@ impl RunManifest {
     }
 }
 
+/// The schema identifier of a `piton-serve` cache manifest.
+pub const SERVE_MANIFEST_SCHEMA: &str = "piton-serve-manifest/v1";
+
+/// One cached context in a [`ServeManifest`]: the context spec, the
+/// journal file in the cache directory that holds its results, and
+/// that journal's accounting at shutdown.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServeContextRecord {
+    pub context: String,
+    pub file: String,
+    pub stats: JournalStats,
+}
+
+/// The `piton-serve-manifest/v1` document the daemon writes into its
+/// cache directory on clean shutdown: the serving configuration, the
+/// `serve.*` counters, and one record per cached context so the cache
+/// contents are auditable without replaying the journals.
+///
+/// ```text
+/// {
+///   "schema": "piton-serve-manifest/v1",
+///   "jobs": <usize>,
+///   "shard_points": <usize>,
+///   "counters": { "serve.cache_hits": n, ... },           // sorted by name
+///   "contexts": [                                         // sorted by file
+///     { "context": "...", "file": "ctx-<hash>.journal",
+///       "journal": { "served": n, "appended": n, "recovered": n, "torn": n } }
+///   ]
+/// }
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServeManifest {
+    pub jobs: usize,
+    pub shard_points: usize,
+    /// `serve.*` counter values, sorted by counter name.
+    pub counters: Vec<(String, u64)>,
+    /// One record per cached context, sorted by journal file name.
+    pub contexts: Vec<ServeContextRecord>,
+}
+
+impl ServeManifest {
+    /// Renders the manifest as a JSON document (with trailing newline).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut counters = ObjectBuilder::new();
+        for (name, v) in &self.counters {
+            counters = counters.field(name, Value::Int(i128::from(*v)));
+        }
+        let contexts = Value::Array(
+            self.contexts
+                .iter()
+                .map(|c| {
+                    ObjectBuilder::new()
+                        .field("context", Value::Str(c.context.clone()))
+                        .field("file", Value::Str(c.file.clone()))
+                        .field(
+                            "journal",
+                            ObjectBuilder::new()
+                                .field("served", Value::Int(i128::from(c.stats.served)))
+                                .field("appended", Value::Int(i128::from(c.stats.appended)))
+                                .field("recovered", Value::Int(i128::from(c.stats.recovered)))
+                                .field("torn", Value::Int(i128::from(c.stats.torn)))
+                                .build(),
+                        )
+                        .build()
+                })
+                .collect(),
+        );
+        let doc = ObjectBuilder::new()
+            .field("schema", Value::Str(SERVE_MANIFEST_SCHEMA.to_owned()))
+            .field("jobs", Value::Int(self.jobs as i128))
+            .field("shard_points", Value::Int(self.shard_points as i128))
+            .field("counters", counters.build())
+            .field("contexts", contexts)
+            .build();
+        let mut out = doc.render();
+        out.push('\n');
+        out
+    }
+
+    /// Parses and validates a serve manifest document.
+    ///
+    /// # Errors
+    ///
+    /// [`PitonError::Codec`] naming what failed: malformed JSON, a
+    /// wrong/missing schema identifier, or ill-typed fields.
+    pub fn from_json(doc: &str) -> Result<Self, PitonError> {
+        Self::from_json_inner(doc).map_err(|e| PitonError::codec(format!("serve manifest: {e}")))
+    }
+
+    fn from_json_inner(doc: &str) -> Result<Self, String> {
+        let v = json::parse(doc)?;
+        let schema = v
+            .get("schema")
+            .and_then(Value::as_str)
+            .ok_or("serve manifest missing 'schema'")?;
+        if schema != SERVE_MANIFEST_SCHEMA {
+            return Err(format!(
+                "schema mismatch: got '{schema}', expected '{SERVE_MANIFEST_SCHEMA}'"
+            ));
+        }
+        let count = |val: &Value, key: &str| -> Result<u64, String> {
+            val.get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("missing count '{key}'"))
+        };
+        let mut out = ServeManifest {
+            jobs: count(&v, "jobs")? as usize,
+            shard_points: count(&v, "shard_points")? as usize,
+            ..ServeManifest::default()
+        };
+        let Some(Value::Object(counters)) = v.get("counters") else {
+            return Err("serve manifest missing 'counters' object".to_owned());
+        };
+        for (name, val) in counters {
+            out.counters.push((
+                name.clone(),
+                val.as_u64()
+                    .ok_or_else(|| format!("counter '{name}' is not a count"))?,
+            ));
+        }
+        for c in v
+            .get("contexts")
+            .and_then(Value::as_array)
+            .ok_or("serve manifest missing 'contexts'")?
+        {
+            let text = |key: &str| -> Result<String, String> {
+                c.get(key)
+                    .and_then(Value::as_str)
+                    .map(str::to_owned)
+                    .ok_or_else(|| format!("context record missing '{key}'"))
+            };
+            let j = c.get("journal").ok_or("context record missing 'journal'")?;
+            out.contexts.push(ServeContextRecord {
+                context: text("context")?,
+                file: text("file")?,
+                stats: JournalStats {
+                    served: count(j, "served")?,
+                    appended: count(j, "appended")?,
+                    recovered: count(j, "recovered")?,
+                    torn: count(j, "torn")?,
+                },
+            });
+        }
+        Ok(out)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -681,5 +829,34 @@ mod tests {
         let doc = m.to_json();
         assert!(doc.contains("\"fault_plan\":null"), "{doc}");
         assert_eq!(RunManifest::from_json(&doc).unwrap().fault_plan, None);
+    }
+
+    #[test]
+    fn serve_manifest_round_trips() {
+        let m = ServeManifest {
+            jobs: 4,
+            shard_points: 512,
+            counters: vec![
+                ("serve.cache_hits".to_owned(), 36),
+                ("serve.points_computed".to_owned(), 12),
+                ("serve.requests".to_owned(), 3),
+            ],
+            contexts: vec![ServeContextRecord {
+                context: "piton/0.1.0|fidelity=quick|effects=none|backend=cycle".to_owned(),
+                file: "ctx-0123456789abcdef.journal".to_owned(),
+                stats: JournalStats {
+                    served: 36,
+                    appended: 12,
+                    recovered: 12,
+                    torn: 0,
+                },
+            }],
+        };
+        let doc = m.to_json();
+        assert!(doc.contains(SERVE_MANIFEST_SCHEMA), "{doc}");
+        assert_eq!(ServeManifest::from_json(&doc).unwrap(), m);
+        // Wrong schema and garbage are structured errors, not panics.
+        assert!(ServeManifest::from_json("{\"schema\":\"nope\"}").is_err());
+        assert!(ServeManifest::from_json("torn {").is_err());
     }
 }

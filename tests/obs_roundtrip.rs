@@ -340,3 +340,200 @@ proptest! {
         let _ = RunManifest::from_json(&doc);
     }
 }
+
+// ---------------------------------------------------------------------------
+// piton-serve wire codec: request grammar and response frames.
+// ---------------------------------------------------------------------------
+
+use piton::arch::request::GridSpec;
+use piton::characterization::journal::point_key;
+use piton::characterization::serve::frames::{Frame, FrameHole};
+use piton::obs::json::Value;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Grid specs render canonically: building a spec from an
+    /// arbitrary index set, rendering, and parsing reconstructs the
+    /// spec exactly, and the re-render is stable.
+    #[test]
+    fn grid_spec_round_trips_canonically(
+        indices in proptest::collection::vec(0usize..4096, 1..48),
+    ) {
+        let spec = GridSpec::from_indices(&indices);
+        let rendered = spec.render();
+        let back = GridSpec::parse(&rendered)
+            .unwrap_or_else(|e| panic!("rendered spec {rendered:?} must parse: {e}"));
+        prop_assert_eq!(&back, &spec);
+        prop_assert_eq!(back.render(), rendered);
+        // The spec selects exactly the deduped index set.
+        let mut expect: Vec<usize> = indices.clone();
+        expect.sort_unstable();
+        expect.dedup();
+        prop_assert_eq!(spec.resolve(4096).unwrap(), expect);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Parsing arbitrary grid-spec strings is total: structured result
+    /// or error, never a panic — and whatever parses re-renders to a
+    /// form that parses back to the same spec.
+    #[test]
+    fn grid_spec_parse_is_total(
+        chars in proptest::collection::vec(0usize..14, 0..24),
+    ) {
+        const ALPHABET: [char; 14] =
+            ['0', '1', '2', '3', '4', '5', '6', '7', '8', '9', ',', '-', 'a', 'l'];
+        let spec: String = chars.iter().map(|&c| ALPHABET[c]).collect();
+        if let Ok(parsed) = GridSpec::parse(&spec) {
+            let rendered = parsed.render();
+            prop_assert_eq!(GridSpec::parse(&rendered).unwrap(), parsed);
+        }
+    }
+}
+
+/// Decodes one response frame from raw random words — every frame
+/// kind, with and without optional fields, with full-range keys.
+fn frame_from_words(tag: u64, a: u64, b: u64, c: u64) -> Frame {
+    let id = a.is_multiple_of(2).then(|| format!("req-{b}"));
+    match tag % 7 {
+        0 => Frame::Hello {
+            id,
+            section: "scaling".to_owned(),
+            context: format!("piton/0.1.0|fidelity=quick|effects=none|backend=cycle#{c}"),
+            points: b,
+        },
+        1 => Frame::Result {
+            section: "noc".to_owned(),
+            index: a,
+            key: b,
+            payload: Value::Float((c % 4096) as f64 / 8.0),
+        },
+        2 => Frame::Done {
+            id,
+            section: "design_space".to_owned(),
+            points: a,
+            holes: (0..b % 4)
+                .map(|i| FrameHole {
+                    index: c.wrapping_add(i),
+                    attempts: (i % 5) as u32,
+                    error: format!("injected fault {i}"),
+                })
+                .collect(),
+        },
+        3 => Frame::Error {
+            message: format!("unknown section \"sec-{c}\""),
+        },
+        4 => Frame::Pong {
+            version: format!("{}.{}.{}", a % 10, b % 10, c % 10),
+        },
+        5 => Frame::Metrics {
+            counters: vec![
+                ("serve.cache_hits".to_owned(), a),
+                ("serve.points_computed".to_owned(), b),
+            ],
+        },
+        _ => Frame::Bye,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// encode → decode is the identity on every frame kind, including
+    /// extreme u64 keys and counts.
+    #[test]
+    fn serve_frames_round_trip(
+        words in proptest::collection::vec(
+            (
+                proptest::strategy::any::<u64>(),
+                proptest::strategy::any::<u64>(),
+                proptest::strategy::any::<u64>(),
+                proptest::strategy::any::<u64>(),
+            ),
+            1..24,
+        ),
+    ) {
+        for &(tag, a, b, c) in &words {
+            let frame = frame_from_words(tag, a, b, c);
+            let line = frame.encode();
+            prop_assert_eq!(Frame::decode(line.as_bytes()).unwrap(), frame);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The frame checksum makes decode total and tamper-evident:
+    /// truncating an encoded frame at *every* byte offset fails with a
+    /// structured error, and arbitrary single-byte corruption either
+    /// errors or (when the byte is unchanged) still decodes equal —
+    /// never panics, never yields a different frame.
+    #[test]
+    fn serve_frame_truncation_and_corruption_are_detected(
+        tag in proptest::strategy::any::<u64>(),
+        a in proptest::strategy::any::<u64>(),
+        b in proptest::strategy::any::<u64>(),
+        c in proptest::strategy::any::<u64>(),
+        offset in proptest::strategy::any::<u64>(),
+        byte in proptest::strategy::any::<u64>(),
+    ) {
+        let frame = frame_from_words(tag, a, b, c);
+        let line = frame.encode();
+        let bytes = line.trim_end().as_bytes();
+        for cut in 0..bytes.len() {
+            prop_assert!(Frame::decode(&bytes[..cut]).is_err(), "cut={cut}");
+        }
+        let mut corrupt = bytes.to_vec();
+        let at = (offset % corrupt.len() as u64) as usize;
+        corrupt[at] = (byte % 256) as u8;
+        if let Ok(back) = Frame::decode(&corrupt) {
+            prop_assert_eq!(back, frame);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Cache-key collision sanity: distinct (section, index, context)
+    /// triples map to pairwise-distinct content keys, so a cache hit
+    /// can only ever serve the exact requested point.
+    #[test]
+    fn serve_cache_keys_separate_distinct_points(
+        sections in proptest::collection::vec(0usize..3, 2..24),
+        indices in proptest::collection::vec(0usize..200_000, 2..24),
+        contexts in proptest::collection::vec(0usize..4, 2..24),
+    ) {
+        const SECTIONS: [&str; 3] = ["noc", "scaling", "design_space"];
+        const CONTEXTS: [&str; 4] = [
+            "piton/0.1.0|fidelity=quick|effects=none|backend=cycle",
+            "piton/0.1.0|fidelity=full|effects=none|backend=cycle",
+            "piton/0.1.0|fidelity=quick|effects=seed=7,drop=0.25|backend=cycle",
+            "piton/0.1.0|fidelity=quick|effects=none|backend=analytic",
+        ];
+        let mut triples: Vec<(&str, usize, &str)> = sections
+            .iter()
+            .zip(&indices)
+            .zip(&contexts)
+            .map(|((&s, &i), &ctx)| (SECTIONS[s], i, CONTEXTS[ctx]))
+            .collect();
+        triples.sort_unstable();
+        triples.dedup();
+        let keys: Vec<u64> = triples
+            .iter()
+            .map(|&(s, i, ctx)| point_key(ctx, s, i))
+            .collect();
+        for x in 0..keys.len() {
+            for y in (x + 1)..keys.len() {
+                prop_assert_ne!(
+                    keys[x], keys[y],
+                    "collision: {:?} vs {:?}", triples[x], triples[y]
+                );
+            }
+        }
+    }
+}
